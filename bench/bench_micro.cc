@@ -1,0 +1,171 @@
+// Microbenchmarks (google-benchmark) for the hot paths: SQL parsing,
+// featurization, weighted Jaccard, summary construction, what-if costing,
+// advisor tuning, and end-to-end compression.
+
+#include <benchmark/benchmark.h>
+
+#include "advisor/advisor.h"
+#include "core/incremental.h"
+#include "core/isum.h"
+#include "engine/what_if.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "workload/workload_factory.h"
+
+namespace isum {
+namespace {
+
+const workload::GeneratedWorkload& TpchEnv() {
+  static workload::GeneratedWorkload* env = [] {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 8;
+    return new workload::GeneratedWorkload(workload::MakeTpch(gen));
+  }();
+  return *env;
+}
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql = TpchEnv().workload->query(2).sql;
+  for (auto _ : state) {
+    auto result = sql::ParseSelect(sql);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_Featurize(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::FeatureSpace space;
+  core::Featurizer featurizer(env.catalog.get(), env.stats.get(), &space);
+  const sql::BoundQuery& q = env.workload->query(2).bound;
+  for (auto _ : state) {
+    auto v = featurizer.Featurize(q);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Featurize);
+
+void BM_WeightedJaccard(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::CompressionState cs(*env.workload, {}, core::UtilityMode::kCostOnly);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (size_t j = 1; j < 32; ++j) total += cs.Similarity(0, j);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_WeightedJaccard);
+
+void BM_SummaryConstruction(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::CompressionState cs(*env.workload, {}, core::UtilityMode::kCostOnly);
+  for (auto _ : state) {
+    auto v = core::ComputeSummaryFeatures(cs);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SummaryConstruction);
+
+void BM_WhatIfCost(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  engine::Optimizer optimizer(env.cost_model.get());
+  const sql::BoundQuery& q = env.workload->query(4).bound;
+  engine::Configuration config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.Cost(q, config));
+  }
+}
+BENCHMARK(BM_WhatIfCost);
+
+void BM_CompressSummary(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::Isum isum(env.workload.get());
+  for (auto _ : state) {
+    auto compressed = isum.Compress(static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(compressed);
+  }
+}
+BENCHMARK(BM_CompressSummary)->Arg(4)->Arg(16);
+
+void BM_CompressAllPairs(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::IsumOptions options;
+  options.algorithm = core::SelectionAlgorithm::kAllPairs;
+  core::Isum isum(env.workload.get(), options);
+  for (auto _ : state) {
+    auto compressed = isum.Compress(static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(compressed);
+  }
+}
+BENCHMARK(BM_CompressAllPairs)->Arg(4)->Arg(16);
+
+void BM_IncrementalObserveBatch(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  for (auto _ : state) {
+    core::IncrementalIsum inc(env.workload.get(), 8);
+    for (size_t begin = 0; begin < env.workload->size(); begin += 16) {
+      inc.ObserveBatch(begin,
+                       std::min(env.workload->size(), begin + 16));
+    }
+    benchmark::DoNotOptimize(inc.Current());
+  }
+}
+BENCHMARK(BM_IncrementalObserveBatch);
+
+void BM_ExecuteScanQuery(benchmark::State& state) {
+  static exec::Database* db = [] {
+    auto* d = new exec::Database(TpchEnv().catalog.get(), TpchEnv().stats.get());
+    d->MaterializeAll(20'000, 5);
+    return d;
+  }();
+  exec::Executor executor(db);
+  engine::Optimizer optimizer(TpchEnv().cost_model.get());
+  const sql::BoundQuery& q = TpchEnv().workload->query(5).bound;  // Q1 shape
+  const engine::PlanSummary plan = optimizer.Optimize(q, engine::Configuration());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(q, plan));
+  }
+}
+BENCHMARK(BM_ExecuteScanQuery);
+
+void BM_AdvisorTuneCompressed(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  core::Isum isum(env.workload.get());
+  const auto compressed = isum.Compress(8);
+  std::vector<advisor::WeightedQuery> queries;
+  for (const auto& e : compressed.entries) {
+    queries.push_back({&env.workload->query(e.query_index).bound, e.weight});
+  }
+  advisor::DtaStyleAdvisor advisor(env.cost_model.get());
+  advisor::TuningOptions options;
+  options.max_indexes = 10;
+  for (auto _ : state) {
+    auto result = advisor.Tune(queries, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AdvisorTuneCompressed);
+
+// On multi-core machines /4 approaches linear speedup (the what-if cache is
+// sharded 16 ways); on a single-core host it only measures pool overhead.
+void BM_AdvisorTuneParallel(benchmark::State& state) {
+  const auto& env = TpchEnv();
+  std::vector<advisor::WeightedQuery> queries;
+  for (size_t i = 0; i < env.workload->size(); ++i) {
+    queries.push_back({&env.workload->query(i).bound, 1.0});
+  }
+  advisor::DtaStyleAdvisor advisor(env.cost_model.get());
+  advisor::TuningOptions options;
+  options.max_indexes = 10;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = advisor.Tune(queries, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AdvisorTuneParallel)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace isum
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+#ifndef ISUM_BENCH_BENCH_UTIL_H_
+#define ISUM_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Not part of the library API.
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "baselines/gsum.h"
+#include "baselines/kmedoid.h"
+#include "baselines/simple.h"
+#include "common/string_util.h"
+#include "eval/pipeline.h"
+#include "eval/reporting.h"
+#include "workload/workload_factory.h"
+
+namespace isum::bench {
+
+/// The six algorithms of Figure 9/10/12/15: Uniform, Cost, Stratified,
+/// GSUM, ISUM, ISUM-S.
+inline std::vector<std::unique_ptr<baselines::Compressor>> StandardCompressors(
+    uint64_t seed = 1) {
+  std::vector<std::unique_ptr<baselines::Compressor>> out;
+  out.push_back(std::make_unique<baselines::UniformSamplingCompressor>(seed));
+  out.push_back(std::make_unique<baselines::TopCostCompressor>());
+  out.push_back(std::make_unique<baselines::StratifiedCompressor>(seed));
+  out.push_back(std::make_unique<baselines::GsumCompressor>());
+  out.push_back(std::make_unique<eval::IsumCompressor>());
+  out.push_back(std::make_unique<eval::IsumCompressor>(
+      core::IsumOptions::StatsVariant(), "ISUM-S"));
+  return out;
+}
+
+/// Wall-clock helper.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-query "tune this query alone, then measure" sweep shared by the
+/// correlation experiments (Figures 5–8, Table 3). For each query q_i:
+/// tune {q_i}, record the improvement of q_i itself (reduction) and of the
+/// whole workload (improvement %).
+struct PerQueryTuning {
+  std::vector<double> reduction;               ///< C(q) - C_I(q)
+  std::vector<double> workload_improvement;    ///< % on the full workload
+};
+
+inline PerQueryTuning TuneEachQueryAlone(const workload::GeneratedWorkload& env,
+                                         const eval::TunerFn& tuner) {
+  PerQueryTuning out;
+  const workload::Workload& w = *env.workload;
+  for (size_t i = 0; i < w.size(); ++i) {
+    std::vector<advisor::WeightedQuery> one = {{&w.query(i).bound, 1.0}};
+    const advisor::TuningResult result = tuner(one);
+    out.reduction.push_back(result.initial_cost - result.final_cost);
+    out.workload_improvement.push_back(
+        eval::WorkloadImprovementPercent(w, result.configuration));
+  }
+  return out;
+}
+
+/// Sweeps every compressor over the compressed-size axis `ks`, tuning each
+/// compressed workload with `tuner` and measuring improvement (%) on the full
+/// workload. Returns a table with one row per k and one column per algorithm.
+inline eval::Table CompareCompressors(
+    const workload::GeneratedWorkload& env,
+    const std::vector<std::unique_ptr<baselines::Compressor>>& compressors,
+    const std::vector<size_t>& ks, const eval::TunerFn& tuner,
+    const char* axis_name = "k") {
+  std::vector<std::string> headers = {axis_name};
+  for (const auto& c : compressors) headers.push_back(c->name());
+  eval::Table table(std::move(headers));
+  for (size_t k : ks) {
+    if (k > env.workload->size()) break;
+    std::vector<double> row;
+    for (const auto& c : compressors) {
+      const workload::CompressedWorkload compressed =
+          c->Compress(*env.workload, k);
+      const eval::EvaluationResult r =
+          eval::RunPipeline(*env.workload, compressed, tuner, c->name());
+      row.push_back(r.improvement_percent);
+    }
+    table.AddRow(StrFormat("%zu", k), row);
+  }
+  return table;
+}
+
+}  // namespace isum::bench
+
+#endif  // ISUM_BENCH_BENCH_UTIL_H_

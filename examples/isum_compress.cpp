@@ -1,0 +1,228 @@
+// isum_compress: a command-line workload compressor — the adoption path for
+// using ISUM on your own schema and workload without writing C++.
+//
+//   isum_compress --schema schema.sql --workload workload.sql ...
+//     with flags: [--k 20] [--algorithm summary|allpairs] [--variant rule|stats]
+//       [--tune [--max-indexes 20]] [--csv]
+//
+// schema.sql   : CREATE TABLE statements (see sql/ddl_parser.h), each table
+//                optionally annotated WITH (ROWS = n).
+// workload.sql : one or more SELECT statements separated by ';'.
+//
+// Output: the selected queries with their weights; with --tune, also the
+// recommended indexes and the estimated improvement on the full workload.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "eval/drilldown.h"
+#include "eval/pipeline.h"
+#include "sql/ddl_parser.h"
+#include "stats/stats_loader.h"
+#include "workload/query_store.h"
+#include "workload/workload.h"
+
+using namespace isum;
+
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Splits a script into statements on ';', respecting quoted strings and
+/// dropping '--' comments and blank statements.
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < script.size(); ++i) {
+    const char c = script[i];
+    if (!in_string && c == '-' && i + 1 < script.size() &&
+        script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') ++i;
+      current.push_back('\n');
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      if (!Trim(current).empty()) out.emplace_back(Trim(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!Trim(current).empty()) out.emplace_back(Trim(current));
+  return out;
+}
+
+const char* ArgValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: isum_compress --schema schema.sql --workload "
+               "workload.sql [--k 20]\n"
+               "                     [--algorithm summary|allpairs] "
+               "[--variant rule|stats]\n"
+               "                     [--tune] [--max-indexes 20] [--csv]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* schema_path = ArgValue(argc, argv, "--schema");
+  const char* workload_path = ArgValue(argc, argv, "--workload");
+  if (schema_path == nullptr || workload_path == nullptr) return Usage();
+  const char* k_arg = ArgValue(argc, argv, "--k");
+  const size_t k = k_arg != nullptr ? std::strtoul(k_arg, nullptr, 10) : 20;
+  const char* algorithm = ArgValue(argc, argv, "--algorithm");
+  const char* variant = ArgValue(argc, argv, "--variant");
+  const bool tune = HasFlag(argc, argv, "--tune");
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const char* max_indexes_arg = ArgValue(argc, argv, "--max-indexes");
+
+  // --- Schema. ---
+  auto ddl = ReadFile(schema_path);
+  if (!ddl.ok()) {
+    std::fprintf(stderr, "%s\n", ddl.status().ToString().c_str());
+    return 1;
+  }
+  catalog::Catalog cat;
+  auto created = sql::ParseSchema(*ddl, &cat);
+  if (!created.ok()) {
+    std::fprintf(stderr, "schema error: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  stats::StatsManager stats(&cat);
+  engine::CostModel cost_model(&cat, &stats);
+  std::fprintf(stderr, "schema: %d tables\n", *created);
+
+  // Optional per-column statistics (JSONL; see stats/stats_loader.h).
+  if (const char* stats_path = ArgValue(argc, argv, "--stats")) {
+    auto spec = ReadFile(stats_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = stats::LoadColumnStats(*spec, cat, &stats);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "stats error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "statistics: %d columns\n", *loaded);
+  }
+
+  // --- Workload. ---
+  auto script = ReadFile(workload_path);
+  if (!script.ok()) {
+    std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+    return 1;
+  }
+  workload::Workload w(
+      workload::Workload::Environment{&cat, &stats, &cost_model});
+  int rejected = 0;
+  if (HasFlag(argc, argv, "--query-store")) {
+    // Workload file is a Query-Store JSONL log: SQL + recorded costs, no
+    // optimizer calls needed (paper §10).
+    auto loaded = workload::LoadQueryStore(*script, &w);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "query store error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    for (const std::string& sql : SplitStatements(*script)) {
+      const Status st = w.AddQuery(sql);
+      if (!st.ok()) {
+        std::fprintf(stderr, "skipping query (%s): %.80s\n",
+                     st.ToString().c_str(), sql.c_str());
+        ++rejected;
+      }
+    }
+  }
+  if (const char* dump = ArgValue(argc, argv, "--save-query-store")) {
+    std::ofstream out(dump);
+    out << workload::SaveQueryStore(w);
+    std::fprintf(stderr, "saved query store to %s\n", dump);
+  }
+  std::fprintf(stderr, "workload: %zu queries (%d rejected), %zu templates\n",
+               w.size(), rejected, w.NumTemplates());
+  if (w.empty()) return 1;
+
+  // --- Compress. ---
+  core::IsumOptions options;
+  if (variant != nullptr && std::strcmp(variant, "stats") == 0) {
+    options = core::IsumOptions::StatsVariant();
+  }
+  if (algorithm != nullptr && std::strcmp(algorithm, "allpairs") == 0) {
+    options.algorithm = core::SelectionAlgorithm::kAllPairs;
+  }
+  core::Isum isum(&w, options);
+  const workload::CompressedWorkload compressed = isum.Compress(k);
+  if (compressed.size() < std::min(k, w.size())) {
+    std::fprintf(stderr,
+                 "note: selected %zu < k=%zu queries (the rest have no "
+                 "indexable columns — nothing for an index tuner to use)\n",
+                 compressed.size(), k);
+  }
+
+  if (csv) {
+    std::printf("weight,sql\n");
+    for (const auto& e : compressed.entries) {
+      std::string quoted = w.query(e.query_index).sql;
+      std::printf("%.6f,\"%s\"\n", e.weight, quoted.c_str());
+    }
+  } else {
+    std::printf("-- compressed workload (%zu of %zu queries)\n",
+                compressed.size(), w.size());
+    for (const auto& e : compressed.entries) {
+      std::printf("-- weight %.4f\n%s;\n", e.weight,
+                  w.query(e.query_index).sql.c_str());
+    }
+  }
+
+  // --- Optional tuning. ---
+  if (tune) {
+    advisor::TuningOptions tuning;
+    if (max_indexes_arg != nullptr) {
+      tuning.max_indexes = std::atoi(max_indexes_arg);
+    }
+    const eval::EvaluationResult result = eval::RunPipeline(
+        w, compressed, eval::MakeDtaTuner(w, tuning), "ISUM");
+    std::printf("\n-- recommended indexes (tuning the compressed workload):\n");
+    int ordinal = 0;
+    for (const engine::Index& index : result.tuning.configuration.indexes()) {
+      std::printf("%s\n", index.ToDdl(cat, ordinal++).c_str());
+    }
+    std::printf("-- estimated improvement on the full workload: %.1f%%\n",
+                result.improvement_percent);
+    if (HasFlag(argc, argv, "--drilldown")) {
+      const eval::DrilldownReport report =
+          eval::BuildDrilldown(w, compressed, result.tuning.configuration);
+      std::printf("\n%s", report.ToString(w).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// tune_tpch: the paper's headline experiment in miniature. Generates a
+// TPC-H-like workload, compresses it with ISUM and every baseline, tunes
+// each compressed workload with the DTA-style advisor and reports the
+// improvement each achieves on the FULL workload — plus the time budget
+// (compression + tuning) spent to get there.
+//
+// Usage: tune_tpch [k] [instances_per_template]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/gsum.h"
+#include "baselines/kmedoid.h"
+#include "baselines/simple.h"
+#include "common/string_util.h"
+#include "eval/pipeline.h"
+#include "eval/reporting.h"
+#include "workload/workload_factory.h"
+
+using namespace isum;
+
+int main(int argc, char** argv) {
+  const size_t k = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const int instances = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  workload::GeneratorOptions gen;
+  gen.instances_per_template = instances;
+  workload::GeneratedWorkload env = workload::MakeTpch(gen);
+  std::printf("TPC-H-like workload: %zu queries, %zu templates, C(W)=%.3g\n",
+              env.workload->size(), env.workload->NumTemplates(),
+              env.workload->TotalCost());
+
+  advisor::TuningOptions tuning;
+  tuning.max_indexes = 20;
+  const eval::TunerFn tuner = eval::MakeDtaTuner(*env.workload, tuning);
+
+  // Reference: tuning the entire workload.
+  workload::CompressedWorkload full;
+  for (size_t i = 0; i < env.workload->size(); ++i) full.entries.push_back({i, 1.0});
+  full.NormalizeWeights();
+  const eval::EvaluationResult full_result =
+      eval::RunPipeline(*env.workload, full, tuner, "FULL");
+
+  std::vector<std::unique_ptr<baselines::Compressor>> algorithms;
+  algorithms.push_back(std::make_unique<baselines::UniformSamplingCompressor>(1));
+  algorithms.push_back(std::make_unique<baselines::TopCostCompressor>());
+  algorithms.push_back(std::make_unique<baselines::StratifiedCompressor>(1));
+  algorithms.push_back(std::make_unique<baselines::GsumCompressor>());
+  algorithms.push_back(std::make_unique<baselines::KMedoidCompressor>(1));
+  algorithms.push_back(std::make_unique<eval::IsumCompressor>());
+  algorithms.push_back(std::make_unique<eval::IsumCompressor>(
+      core::IsumOptions::StatsVariant(), "ISUM-S"));
+
+  eval::Table table({"algorithm", "improvement_pct", "of_full_tuning_pct",
+                     "compress_s", "tune_s", "indexes"});
+  for (const auto& algorithm : algorithms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const workload::CompressedWorkload compressed =
+        algorithm->Compress(*env.workload, k);
+    const double compress_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const eval::EvaluationResult r =
+        eval::RunPipeline(*env.workload, compressed, tuner, algorithm->name());
+    table.AddRow(algorithm->name(),
+                 {r.improvement_percent,
+                  100.0 * r.improvement_percent /
+                      std::max(1e-9, full_result.improvement_percent),
+                  compress_s, r.tuning_seconds,
+                  static_cast<double>(r.tuning.configuration.size())});
+  }
+  table.AddRow("FULL (no compression)",
+               {full_result.improvement_percent, 100.0, 0.0,
+                full_result.tuning_seconds,
+                static_cast<double>(full_result.tuning.configuration.size())});
+  table.Print(StrFormat("Compress to k=%zu -> tune -> evaluate on all %zu "
+                        "queries",
+                        k, env.workload->size()));
+  return 0;
+}

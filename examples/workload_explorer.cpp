@@ -1,0 +1,99 @@
+// workload_explorer: inspect how ISUM sees queries. Parses SQL against the
+// TPC-H-like catalog (queries passed as CLI arguments, or a built-in demo
+// set), then prints for each query: its template, indexable columns per
+// role, rule-based and stats-based feature weights, and utility — plus the
+// pairwise weighted-Jaccard similarity matrix.
+//
+// Usage: workload_explorer ["SELECT ..."]...
+
+#include <cstdio>
+
+#include "advisor/candidate_generation.h"
+#include "core/isum.h"
+#include "sql/templatizer.h"
+#include "workload/workload_factory.h"
+
+using namespace isum;
+
+int main(int argc, char** argv) {
+  workload::GeneratorOptions gen;
+  gen.instances_per_template = 1;
+  gen.max_templates = 1;  // catalog + stats only; we add our own queries
+  workload::GeneratedWorkload env = workload::MakeTpch(gen);
+  workload::Workload w(workload::Workload::Environment{
+      env.catalog.get(), env.stats.get(), env.cost_model.get()});
+
+  std::vector<std::string> sqls;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) sqls.emplace_back(argv[i]);
+  } else {
+    sqls = {
+        "SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= '1995-01-01' AND "
+        "l_shipdate < '1996-01-01' AND l_discount BETWEEN 0.05 AND 0.07",
+        "SELECT l_orderkey, SUM(l_extendedprice) FROM lineitem, orders WHERE "
+        "l_orderkey = o_orderkey AND o_orderdate < '1995-03-15' GROUP BY "
+        "l_orderkey ORDER BY l_orderkey",
+        "SELECT c_mktsegment, COUNT(*) FROM customer WHERE c_acctbal > 1000 "
+        "GROUP BY c_mktsegment",
+    };
+  }
+  for (const std::string& sql : sqls) {
+    const Status st = w.AddQuery(sql);
+    if (!st.ok()) {
+      std::printf("rejected: %s\n  %s\n", st.ToString().c_str(), sql.c_str());
+    }
+  }
+  if (w.empty()) return 1;
+
+  core::FeatureSpace space;
+  core::Featurizer featurizer(env.catalog.get(), env.stats.get(), &space);
+  core::FeaturizationOptions stats_options;
+  stats_options.scheme = core::WeightingScheme::kStatsBased;
+  const std::vector<double> utilities =
+      core::ComputeUtilities(w, core::UtilityMode::kCostOnly);
+
+  std::vector<core::SparseVector> features;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const workload::QueryInfo& q = w.query(i);
+    std::printf("=== q%zu  cost=%.0f  utility=%.3f\n  %s\n", i, q.base_cost,
+                utilities[i], q.sql.c_str());
+
+    const advisor::IndexableColumns cols =
+        advisor::ExtractIndexableColumns(q.bound);
+    auto print_role = [&](const char* role,
+                          const std::vector<catalog::ColumnId>& ids) {
+      if (ids.empty()) return;
+      std::printf("  %-9s:", role);
+      for (catalog::ColumnId c : ids) {
+        std::printf(" %s", env.catalog->ColumnDebugName(c).c_str());
+      }
+      std::printf("\n");
+    };
+    print_role("filter", cols.filter_columns);
+    print_role("join", cols.join_columns);
+    print_role("group-by", cols.group_by_columns);
+    print_role("order-by", cols.order_by_columns);
+
+    const core::SparseVector rule = featurizer.Featurize(q.bound);
+    const core::SparseVector stat = featurizer.Featurize(q.bound, stats_options);
+    std::printf("  features (rule / stats weights):\n");
+    for (const auto& e : rule.entries()) {
+      std::printf("    %-28s %6.3f / %6.3f\n",
+                  env.catalog->ColumnDebugName(space.column(e.feature)).c_str(),
+                  e.weight, stat.Get(e.feature));
+    }
+    features.push_back(rule);
+  }
+
+  std::printf("\nWeighted-Jaccard similarity matrix (rule-based features):\n    ");
+  for (size_t j = 0; j < features.size(); ++j) std::printf("   q%-3zu", j);
+  std::printf("\n");
+  for (size_t i = 0; i < features.size(); ++i) {
+    std::printf("q%-3zu", i);
+    for (size_t j = 0; j < features.size(); ++j) {
+      std::printf("  %5.2f", core::WeightedJaccard(features[i], features[j]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

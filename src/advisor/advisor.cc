@@ -1,0 +1,111 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <atomic>
+#include <optional>
+#include <unordered_set>
+
+#include "advisor/enumerator.h"
+#include "common/thread_pool.h"
+
+namespace isum::advisor {
+
+TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
+                                   const TuningOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  TuningResult result;
+  if (queries.empty()) return result;
+
+  engine::WhatIfOptimizer what_if(cost_model_);
+  const catalog::Catalog& catalog = cost_model_->catalog();
+
+  // Anytime deadline (DTA's time-budget mode). Candidate selection gets at
+  // most half the budget so enumeration always sees some candidates.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::optional<std::chrono::steady_clock::time_point> selection_deadline;
+  if (options.time_budget_seconds > 0.0) {
+    deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(options.time_budget_seconds));
+    selection_deadline =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options.time_budget_seconds / 2.0));
+  }
+
+  // --- Candidate selection: per query, keep the individually improving
+  // candidates (top max_candidates_per_query by improvement). Queries are
+  // independent, so this parallelizes; the pool merge below stays in query
+  // order so results are identical for any thread count. ---
+  std::vector<std::vector<engine::Index>> kept_per_query(queries.size());
+  std::atomic<uint64_t> explored{0};
+  auto select_for = [&](size_t q) {
+    if (selection_deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *selection_deadline) {
+      return;  // anytime: later queries contribute no candidates
+    }
+    const WeightedQuery& wq = queries[q];
+    const double base = what_if.Cost(*wq.query, engine::Configuration());
+    std::vector<engine::Index> candidates =
+        GenerateCandidates(*wq.query, cost_model_->stats(),
+                           options.candidate_options);
+    std::vector<std::pair<double, size_t>> improving;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      engine::Configuration single;
+      single.Add(candidates[i]);
+      explored.fetch_add(1, std::memory_order_relaxed);
+      const double cost = what_if.Cost(*wq.query, single);
+      const double improvement = base - cost;
+      if (improvement > options.min_improvement * base &&
+          improvement > 0.0) {
+        improving.emplace_back(improvement, i);
+      }
+    }
+    std::sort(improving.begin(), improving.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const size_t keep = std::min<size_t>(
+        improving.size(), static_cast<size_t>(options.max_candidates_per_query));
+    for (size_t r = 0; r < keep; ++r) {
+      kept_per_query[q].push_back(candidates[improving[r].second]);
+    }
+  };
+  if (options.num_threads > 1) {
+    ThreadPool(static_cast<size_t>(options.num_threads))
+        .ParallelFor(queries.size(), select_for);
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) select_for(q);
+  }
+  result.configurations_explored += explored.load();
+
+  std::vector<engine::Index> pool;
+  std::unordered_set<engine::Index> pool_set;
+  for (const auto& kept : kept_per_query) {
+    for (const engine::Index& idx : kept) {
+      if (pool_set.insert(idx).second) pool.push_back(idx);
+    }
+  }
+
+  // --- Storage budget. ---
+  uint64_t budget = options.storage_budget_bytes;
+  if (budget == 0 && options.storage_budget_multiplier > 0.0) {
+    budget = static_cast<uint64_t>(options.storage_budget_multiplier *
+                                   static_cast<double>(catalog.total_data_bytes()));
+  }
+
+  // --- Greedy enumeration. ---
+  EnumerationResult enumerated =
+      GreedyEnumerate(what_if, queries, pool, options.max_indexes, budget,
+                      catalog, deadline, options.num_threads);
+
+  result.configuration = std::move(enumerated.configuration);
+  result.configurations_explored += enumerated.configurations_explored;
+  result.initial_cost = enumerated.initial_cost;
+  result.final_cost = enumerated.final_cost;
+  result.optimizer_calls = what_if.optimizer_calls();
+  result.optimizer_seconds = what_if.optimizer_seconds();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace isum::advisor

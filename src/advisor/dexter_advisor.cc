@@ -1,0 +1,85 @@
+#include "advisor/dexter_advisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace isum::advisor {
+
+TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
+                                      const DexterOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  TuningResult result;
+  engine::WhatIfOptimizer what_if(cost_model_);
+  const stats::StatsManager& stats = cost_model_->stats();
+
+  // Accumulated benefit per chosen index across queries (for truncation).
+  std::unordered_map<engine::Index, double> chosen;
+
+  double initial = 0.0;
+  double final_cost = 0.0;
+  for (const WeightedQuery& wq : queries) {
+    const double base = what_if.Cost(*wq.query, engine::Configuration());
+    initial += wq.weight * base;
+
+    // DEXTER-like candidates: single-column and two-column (filter, join)
+    // key indexes only — no include lists, no multi-clause rules.
+    CandidateGenOptions gen;
+    gen.max_key_columns = 2;
+    gen.covering_variants = false;
+    std::vector<engine::Index> candidates =
+        GenerateCandidates(*wq.query, stats, gen);
+
+    // Local greedy: keep adding the best single candidate for *this query*
+    // while it clears the minimum improvement bar.
+    engine::Configuration local;
+    double current = base;
+    for (;;) {
+      double best_improvement = 0.0;
+      const engine::Index* best = nullptr;
+      for (const engine::Index& c : candidates) {
+        if (local.Contains(c)) continue;
+        engine::Configuration trial = local;
+        trial.Add(c);
+        ++result.configurations_explored;
+        const double cost = what_if.Cost(*wq.query, trial);
+        const double improvement = current - cost;
+        if (improvement > best_improvement) {
+          best_improvement = improvement;
+          best = &c;
+        }
+      }
+      if (best == nullptr || best_improvement < options.min_improvement * base) {
+        break;
+      }
+      local.Add(*best);
+      current -= best_improvement;
+      chosen[*best] += wq.weight * best_improvement;
+    }
+    final_cost += wq.weight * current;
+  }
+
+  // Union of local picks; truncate to the most beneficial if capped.
+  std::vector<std::pair<double, engine::Index>> ranked;
+  ranked.reserve(chosen.size());
+  for (const auto& [index, benefit] : chosen) ranked.emplace_back(benefit, index);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t cap = options.max_indexes > 0
+                         ? static_cast<size_t>(options.max_indexes)
+                         : ranked.size();
+  for (size_t i = 0; i < std::min(cap, ranked.size()); ++i) {
+    result.configuration.Add(ranked[i].second);
+  }
+
+  result.initial_cost = initial;
+  result.final_cost = final_cost;
+  result.optimizer_calls = what_if.optimizer_calls();
+  result.optimizer_seconds = what_if.optimizer_seconds();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace isum::advisor

@@ -1,0 +1,38 @@
+#ifndef ISUM_ADVISOR_DEXTER_ADVISOR_H_
+#define ISUM_ADVISOR_DEXTER_ADVISOR_H_
+
+#include <vector>
+
+#include "advisor/advisor.h"
+
+namespace isum::advisor {
+
+/// Knobs of the simpler advisor. `min_improvement` mirrors DEXTER's
+/// "minimum improvement" parameter (set to 5% in the paper's §8.3).
+struct DexterOptions {
+  double min_improvement = 0.05;
+  /// Hard cap on the result size (the paper notes DEXTER cannot constrain
+  /// index count/storage during search; we truncate after the fact only so
+  /// experiments can sweep a size axis). 0 = unlimited.
+  int max_indexes = 0;
+};
+
+/// A deliberately simpler, DEXTER-like index advisor (paper §8.3): per-query
+/// local selection of single-table candidates with a minimum-improvement
+/// threshold, no global enumeration, no index merging, no storage budget.
+/// Exists to show ISUM generalizes across advisors (Figure 15, Table 3).
+class DexterStyleAdvisor {
+ public:
+  explicit DexterStyleAdvisor(const engine::CostModel* cost_model)
+      : cost_model_(cost_model) {}
+
+  TuningResult Tune(const std::vector<WeightedQuery>& queries,
+                    const DexterOptions& options = {}) const;
+
+ private:
+  const engine::CostModel* cost_model_;
+};
+
+}  // namespace isum::advisor
+
+#endif  // ISUM_ADVISOR_DEXTER_ADVISOR_H_

@@ -1,0 +1,119 @@
+#include "advisor/enumerator.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace isum::advisor {
+
+namespace {
+
+/// Evaluation of one candidate against the current per-query costs.
+struct CandidateEvaluation {
+  double improvement = 0.0;
+  std::vector<double> new_costs;
+};
+
+CandidateEvaluation EvaluateCandidate(
+    engine::WhatIfOptimizer& what_if,
+    const std::vector<WeightedQuery>& queries,
+    const engine::Configuration& base_config, const engine::Index& candidate,
+    const std::vector<double>& current_cost) {
+  engine::Configuration trial = base_config;
+  trial.Add(candidate);
+  CandidateEvaluation out;
+  out.new_costs.reserve(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (!queries[qi].query->ReferencesTable(candidate.table())) {
+      out.new_costs.push_back(current_cost[qi]);
+      continue;
+    }
+    const double c = what_if.Cost(*queries[qi].query, trial);
+    out.new_costs.push_back(c);
+    out.improvement += queries[qi].weight * (current_cost[qi] - c);
+  }
+  return out;
+}
+
+}  // namespace
+
+EnumerationResult GreedyEnumerate(
+    engine::WhatIfOptimizer& what_if,
+    const std::vector<WeightedQuery>& queries,
+    const std::vector<engine::Index>& pool, int max_indexes,
+    uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    int num_threads) {
+  EnumerationResult result;
+
+  // Per-query current cost under the growing configuration.
+  std::vector<double> current_cost(queries.size());
+  double total_cost = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    current_cost[i] = what_if.Cost(*queries[i].query, result.configuration);
+    total_cost += queries[i].weight * current_cost[i];
+  }
+  result.initial_cost = total_cost;
+
+  std::unique_ptr<ThreadPool> pool_threads;
+  if (num_threads > 1) {
+    pool_threads = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads));
+  }
+
+  std::vector<bool> used(pool.size(), false);
+  uint64_t used_storage = 0;
+
+  while (static_cast<int>(result.configuration.size()) < max_indexes) {
+    if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+      break;  // anytime: keep what we have
+    }
+    // Candidates eligible this round (unused + fitting the budget).
+    std::vector<size_t> eligible;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      if (storage_budget_bytes > 0 &&
+          used_storage + pool[i].SizeBytes(catalog) > storage_budget_bytes) {
+        continue;
+      }
+      eligible.push_back(i);
+    }
+    if (eligible.empty()) break;
+    result.configurations_explored += eligible.size();
+
+    std::vector<CandidateEvaluation> evaluations(eligible.size());
+    auto evaluate = [&](size_t e) {
+      evaluations[e] = EvaluateCandidate(what_if, queries, result.configuration,
+                                         pool[eligible[e]], current_cost);
+    };
+    if (pool_threads != nullptr) {
+      pool_threads->ParallelFor(eligible.size(), evaluate);
+    } else {
+      for (size_t e = 0; e < eligible.size(); ++e) evaluate(e);
+    }
+
+    // Deterministic reduction: best improvement, ties to the lowest index.
+    size_t best_e = eligible.size();
+    double best_improvement = 0.0;
+    for (size_t e = 0; e < eligible.size(); ++e) {
+      if (evaluations[e].improvement > best_improvement) {
+        best_improvement = evaluations[e].improvement;
+        best_e = e;
+      }
+    }
+    if (best_e == eligible.size()) break;
+
+    const size_t best_i = eligible[best_e];
+    used[best_i] = true;
+    used_storage += pool[best_i].SizeBytes(catalog);
+    result.configuration.Add(pool[best_i]);
+    current_cost = std::move(evaluations[best_e].new_costs);
+    total_cost -= best_improvement;
+  }
+
+  result.final_cost = total_cost;
+  return result;
+}
+
+}  // namespace isum::advisor

@@ -1,0 +1,40 @@
+#ifndef ISUM_ADVISOR_ENUMERATOR_H_
+#define ISUM_ADVISOR_ENUMERATOR_H_
+
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "advisor/advisor.h"
+
+namespace isum::advisor {
+
+/// Result of greedy configuration enumeration.
+struct EnumerationResult {
+  engine::Configuration configuration;
+  uint64_t configurations_explored = 0;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+};
+
+/// Greedily grows a configuration from `pool`: each round adds the candidate
+/// with the maximum weighted-workload cost improvement that still fits the
+/// storage budget, stopping at `max_indexes` or when no candidate improves.
+/// Re-costs only queries referencing the candidate's table (plus the
+/// memoization in `what_if`), which is what makes enumeration tractable.
+/// `deadline` (steady-clock, optional) makes enumeration anytime: the round
+/// in flight finishes, no further rounds start. `num_threads` > 1 evaluates
+/// candidates concurrently (same result for any thread count: the winner is
+/// reduced deterministically).
+EnumerationResult GreedyEnumerate(
+    engine::WhatIfOptimizer& what_if,
+    const std::vector<WeightedQuery>& queries,
+    const std::vector<engine::Index>& pool, int max_indexes,
+    uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
+    std::optional<std::chrono::steady_clock::time_point> deadline =
+        std::nullopt,
+    int num_threads = 1);
+
+}  // namespace isum::advisor
+
+#endif  // ISUM_ADVISOR_ENUMERATOR_H_

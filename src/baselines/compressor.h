@@ -1,0 +1,27 @@
+#ifndef ISUM_BASELINES_COMPRESSOR_H_
+#define ISUM_BASELINES_COMPRESSOR_H_
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace isum::baselines {
+
+/// Common interface for workload compressors so the evaluation pipeline can
+/// sweep algorithms uniformly (ISUM itself is adapted to this interface in
+/// eval/pipeline.h).
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Display name used in experiment tables ("Uniform", "GSUM", ...).
+  virtual std::string name() const = 0;
+
+  /// Selects (at most) k weighted queries from `workload`.
+  virtual workload::CompressedWorkload Compress(
+      const workload::Workload& workload, size_t k) = 0;
+};
+
+}  // namespace isum::baselines
+
+#endif  // ISUM_BASELINES_COMPRESSOR_H_

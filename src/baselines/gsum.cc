@@ -1,0 +1,144 @@
+#include "baselines/gsum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "advisor/candidate_generation.h"
+#include "core/features.h"
+
+namespace isum::baselines {
+
+namespace {
+
+using core::FeatureSpace;
+
+/// Binary column-set footprint of each query.
+std::vector<std::vector<int>> QueryFootprints(
+    const workload::Workload& workload, FeatureSpace* space) {
+  std::vector<std::vector<int>> out(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    // GSUM featurizes on all referenced columns (indexing-agnostic).
+    for (catalog::ColumnId c : workload.query(i).bound.ReferencedColumns()) {
+      out[i].push_back(space->GetOrCreate(c));
+    }
+    std::sort(out[i].begin(), out[i].end());
+    out[i].erase(std::unique(out[i].begin(), out[i].end()), out[i].end());
+  }
+  return out;
+}
+
+double OverlapCount(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0, j = 0;
+  double n = 0.0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+workload::CompressedWorkload GsumCompressor::Compress(
+    const workload::Workload& workload, size_t k) {
+  workload::CompressedWorkload out;
+  const size_t n = workload.size();
+  if (n == 0) return out;
+
+  FeatureSpace space;
+  const std::vector<std::vector<int>> footprint =
+      QueryFootprints(workload, &space);
+
+  // Workload feature frequencies (the distribution representativity targets).
+  std::vector<double> freq(space.size(), 0.0);
+  double total_freq = 0.0;
+  for (const auto& f : footprint) {
+    for (int c : f) {
+      freq[static_cast<size_t>(c)] += 1.0;
+      total_freq += 1.0;
+    }
+  }
+
+  // Greedy: maximize alpha * coverage + (1 - alpha) * representativity.
+  std::vector<bool> selected(n, false);
+  std::vector<bool> covered(space.size(), false);
+  std::vector<double> summary_count(space.size(), 0.0);
+  double summary_total = 0.0;
+  double coverage = 0.0;  // frequency-weighted fraction of covered features
+
+  auto representativity = [&](const std::vector<int>& add) {
+    // 1 - 0.5 * L1 distance between normalized distributions.
+    double l1 = 0.0;
+    const double new_total = summary_total + static_cast<double>(add.size());
+    if (new_total <= 0.0 || total_freq <= 0.0) return 0.0;
+    std::unordered_map<int, double> delta;
+    for (int c : add) delta[c] += 1.0;
+    for (size_t c = 0; c < space.size(); ++c) {
+      double cnt = summary_count[c];
+      auto it = delta.find(static_cast<int>(c));
+      if (it != delta.end()) cnt += it->second;
+      l1 += std::abs(cnt / new_total - freq[c] / total_freq);
+    }
+    return 1.0 - 0.5 * l1;
+  };
+
+  for (size_t round = 0; round < k && round < n; ++round) {
+    double best_score = -1.0;
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      double cov_gain = 0.0;
+      for (int c : footprint[i]) {
+        if (!covered[static_cast<size_t>(c)]) {
+          cov_gain += freq[static_cast<size_t>(c)] / std::max(1.0, total_freq);
+        }
+      }
+      const double score = alpha_ * (coverage + cov_gain) +
+                           (1.0 - alpha_) * representativity(footprint[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    selected[best] = true;
+    for (int c : footprint[best]) {
+      if (!covered[static_cast<size_t>(c)]) {
+        covered[static_cast<size_t>(c)] = true;
+        coverage += freq[static_cast<size_t>(c)] / std::max(1.0, total_freq);
+      }
+      summary_count[static_cast<size_t>(c)] += 1.0;
+      summary_total += 1.0;
+    }
+    out.entries.push_back({best, 0.0});
+  }
+
+  // Weights: each workload query votes for its most-overlapping selected
+  // query (GSUM's representation-based weighting).
+  for (size_t i = 0; i < n; ++i) {
+    double best_overlap = -1.0;
+    size_t rep = 0;
+    for (size_t e = 0; e < out.entries.size(); ++e) {
+      const double ov =
+          OverlapCount(footprint[i], footprint[out.entries[e].query_index]);
+      if (ov > best_overlap) {
+        best_overlap = ov;
+        rep = e;
+      }
+    }
+    if (!out.entries.empty()) out.entries[rep].weight += 1.0;
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace isum::baselines

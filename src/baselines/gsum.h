@@ -1,0 +1,29 @@
+#ifndef ISUM_BASELINES_GSUM_H_
+#define ISUM_BASELINES_GSUM_H_
+
+#include "baselines/compressor.h"
+
+namespace isum::baselines {
+
+/// GSUM [20] (Deep et al., VLDB 2020), the indexing-agnostic state of the
+/// art the paper compares against: a greedy algorithm that maximizes a blend
+/// of (a) coverage — the frequency-weighted fraction of workload features
+/// (columns) present in the summary — and (b) representativity — similarity
+/// between the summary's feature distribution and the workload's.
+/// Selected queries are weighted by how many workload queries they represent
+/// (nearest-selected assignment by column overlap).
+class GsumCompressor : public Compressor {
+ public:
+  /// `alpha` trades coverage (1.0) against representativity (0.0).
+  explicit GsumCompressor(double alpha = 0.5) : alpha_(alpha) {}
+  std::string name() const override { return "GSUM"; }
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace isum::baselines
+
+#endif  // ISUM_BASELINES_GSUM_H_

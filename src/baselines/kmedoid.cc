@@ -1,0 +1,93 @@
+#include "baselines/kmedoid.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/weighting.h"
+
+namespace isum::baselines {
+
+workload::CompressedWorkload KMedoidCompressor::Compress(
+    const workload::Workload& workload, size_t k) {
+  workload::CompressedWorkload out;
+  const size_t n = workload.size();
+  if (n == 0) return out;
+  k = std::min(k, n);
+
+  // ISUM rule-based features as the similarity substrate.
+  core::FeatureSpace space;
+  core::Featurizer featurizer(workload.env().catalog, workload.env().stats,
+                              &space);
+  std::vector<core::SparseVector> features(n);
+  for (size_t i = 0; i < n; ++i) {
+    features[i] = featurizer.Featurize(workload.query(i).bound);
+  }
+  auto distance = [&features](size_t a, size_t b) {
+    return 1.0 - core::WeightedJaccard(features[a], features[b]);
+  };
+
+  Rng rng(seed_);
+  std::vector<size_t> medoids = rng.SampleWithoutReplacement(n, k);
+  std::vector<size_t> assignment(n, 0);
+
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      double best = 2.0;
+      for (size_t m = 0; m < medoids.size(); ++m) {
+        const double d = distance(i, medoids[m]);
+        if (d < best) {
+          best = d;
+          assignment[i] = m;
+        }
+      }
+    }
+    // Update: medoid = member minimizing intra-cluster distance sum.
+    bool changed = false;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] == m) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      double best_sum = -1.0;
+      size_t best_medoid = medoids[m];
+      for (size_t cand : members) {
+        double sum = 0.0;
+        for (size_t other : members) sum += distance(cand, other);
+        if (best_sum < 0.0 || sum < best_sum) {
+          best_sum = sum;
+          best_medoid = cand;
+        }
+      }
+      if (best_medoid != medoids[m]) {
+        medoids[m] = best_medoid;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final assignment for weights.
+  std::vector<double> cluster_size(medoids.size(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double best = 2.0;
+    size_t arg = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      const double d = distance(i, medoids[m]);
+      if (d < best) {
+        best = d;
+        arg = m;
+      }
+    }
+    cluster_size[arg] += 1.0;
+  }
+  for (size_t m = 0; m < medoids.size(); ++m) {
+    out.entries.push_back({medoids[m], std::max(1.0, cluster_size[m])});
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace isum::baselines

@@ -1,0 +1,32 @@
+#ifndef ISUM_BASELINES_KMEDOID_H_
+#define ISUM_BASELINES_KMEDOID_H_
+
+#include <cstdint>
+
+#include "baselines/compressor.h"
+
+namespace isum::baselines {
+
+/// The clustering-based compressor of Chaudhuri et al. [11], adapted as in
+/// the paper's §8: k-medoid clustering with k random seeds. Since [11]'s
+/// distance function is undefined across templates, distance here is
+/// 1 - weighted Jaccard over ISUM query features (exactly what the paper
+/// does for this baseline). Medoids become the compressed workload, weighted
+/// by their cluster sizes. Quadratic per iteration — the slow, local-minima-
+/// prone baseline of Figure 11.
+class KMedoidCompressor : public Compressor {
+ public:
+  explicit KMedoidCompressor(uint64_t seed = 1, int max_iterations = 20)
+      : seed_(seed), max_iterations_(max_iterations) {}
+  std::string name() const override { return "k-medoid"; }
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override;
+
+ private:
+  uint64_t seed_;
+  int max_iterations_;
+};
+
+}  // namespace isum::baselines
+
+#endif  // ISUM_BASELINES_KMEDOID_H_

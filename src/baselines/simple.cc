@@ -1,0 +1,68 @@
+#include "baselines/simple.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace isum::baselines {
+
+workload::CompressedWorkload UniformSamplingCompressor::Compress(
+    const workload::Workload& workload, size_t k) {
+  Rng rng(seed_);
+  workload::CompressedWorkload out;
+  for (size_t i : rng.SampleWithoutReplacement(workload.size(), k)) {
+    out.entries.push_back({i, 1.0});
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+workload::CompressedWorkload TopCostCompressor::Compress(
+    const workload::Workload& workload, size_t k) {
+  std::vector<size_t> order(workload.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&workload](size_t a, size_t b) {
+    return workload.query(a).base_cost > workload.query(b).base_cost;
+  });
+  workload::CompressedWorkload out;
+  for (size_t i = 0; i < std::min(k, order.size()); ++i) {
+    out.entries.push_back({order[i], workload.query(order[i]).base_cost});
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+workload::CompressedWorkload StratifiedCompressor::Compress(
+    const workload::Workload& workload, size_t k) {
+  Rng rng(seed_);
+  // Shuffle each template's instances, then round-robin across templates so
+  // every cluster contributes equally.
+  std::vector<std::vector<size_t>> clusters;
+  for (const auto& [hash, members] : workload.templates()) {
+    clusters.push_back(members);
+  }
+  // Deterministic order across unordered_map iteration differences.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  for (auto& c : clusters) rng.Shuffle(c);
+
+  workload::CompressedWorkload out;
+  size_t round = 0;
+  while (out.entries.size() < k) {
+    bool any = false;
+    for (const auto& c : clusters) {
+      if (round < c.size()) {
+        any = true;
+        // Weight by the cluster's share of the workload.
+        out.entries.push_back({c[round], static_cast<double>(c.size())});
+        if (out.entries.size() >= k) break;
+      }
+    }
+    if (!any) break;
+    ++round;
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace isum::baselines

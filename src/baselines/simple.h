@@ -1,0 +1,47 @@
+#ifndef ISUM_BASELINES_SIMPLE_H_
+#define ISUM_BASELINES_SIMPLE_H_
+
+#include <cstdint>
+
+#include "baselines/compressor.h"
+#include "common/rng.h"
+
+namespace isum::baselines {
+
+/// Baseline 1 (§8): uniform random sampling of k queries, equal weights.
+class UniformSamplingCompressor : public Compressor {
+ public:
+  explicit UniformSamplingCompressor(uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "Uniform"; }
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Baseline 2 (§8): top-k queries by optimizer-estimated cost, weighted by
+/// cost.
+class TopCostCompressor : public Compressor {
+ public:
+  std::string name() const override { return "Cost"; }
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override;
+};
+
+/// Baseline 3 (§8): cluster queries by template, then sample an equal number
+/// of instances per cluster (round-robin over templates).
+class StratifiedCompressor : public Compressor {
+ public:
+  explicit StratifiedCompressor(uint64_t seed = 1) : seed_(seed) {}
+  std::string name() const override { return "Stratified"; }
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace isum::baselines
+
+#endif  // ISUM_BASELINES_SIMPLE_H_

@@ -1,0 +1,38 @@
+#include "catalog/schema_builder.h"
+
+#include <cassert>
+
+namespace isum::catalog {
+
+SchemaBuilder::TableBuilder SchemaBuilder::Table(const std::string& name,
+                                                 uint64_t row_count) {
+  auto result = catalog_->CreateTable(name, row_count);
+  assert(result.ok() && "duplicate table in SchemaBuilder");
+  return TableBuilder(result.value());
+}
+
+SchemaBuilder::TableBuilder& SchemaBuilder::TableBuilder::Add(
+    const std::string& name, ColumnType type, int32_t declared_length,
+    bool is_key) {
+  Column c;
+  c.name = name;
+  c.type = type;
+  c.width_bytes = DefaultWidthBytes(type, declared_length);
+  c.is_key = is_key;
+  auto result = table_->AddColumn(std::move(c));
+  assert(result.ok() && "duplicate column in SchemaBuilder");
+  (void)result;
+  return *this;
+}
+
+SchemaBuilder::TableBuilder& SchemaBuilder::TableBuilder::Col(
+    const std::string& name, ColumnType type, int32_t declared_length) {
+  return Add(name, type, declared_length, /*is_key=*/false);
+}
+
+SchemaBuilder::TableBuilder& SchemaBuilder::TableBuilder::Key(
+    const std::string& name, ColumnType type, int32_t declared_length) {
+  return Add(name, type, declared_length, /*is_key=*/true);
+}
+
+}  // namespace isum::catalog

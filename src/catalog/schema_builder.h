@@ -1,0 +1,53 @@
+#ifndef ISUM_CATALOG_SCHEMA_BUILDER_H_
+#define ISUM_CATALOG_SCHEMA_BUILDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace isum::catalog {
+
+/// Fluent helper for declaring schemas in generators and tests:
+///
+///   SchemaBuilder b(&catalog);
+///   b.Table("orders", 15'000'000)
+///       .Key("o_orderkey", ColumnType::kInt)
+///       .Col("o_custkey", ColumnType::kInt)
+///       .Col("o_comment", ColumnType::kVarchar, 79);
+///
+/// Errors (duplicate names) terminate the process via assert; builders are
+/// only used with programmatic schemas where duplicates are bugs.
+class SchemaBuilder {
+ public:
+  class TableBuilder {
+   public:
+    explicit TableBuilder(Table* table) : table_(table) {}
+
+    /// Adds a regular column; `declared_length` sizes VARCHAR/CHAR.
+    TableBuilder& Col(const std::string& name, ColumnType type,
+                      int32_t declared_length = 0);
+
+    /// Adds a key (unique) column.
+    TableBuilder& Key(const std::string& name, ColumnType type,
+                      int32_t declared_length = 0);
+
+    Table* table() { return table_; }
+
+   private:
+    TableBuilder& Add(const std::string& name, ColumnType type,
+                      int32_t declared_length, bool is_key);
+    Table* table_;
+  };
+
+  explicit SchemaBuilder(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Creates a table with `row_count` rows and returns a column builder.
+  TableBuilder Table(const std::string& name, uint64_t row_count);
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace isum::catalog
+
+#endif  // ISUM_CATALOG_SCHEMA_BUILDER_H_

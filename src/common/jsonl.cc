@@ -1,0 +1,146 @@
+#include "common/jsonl.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace isum {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> JsonUnescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= escaped.size()) {
+      return Status::ParseError("dangling escape in JSON string");
+    }
+    switch (escaped[i]) {
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case '/':
+        out.push_back('/');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'u': {
+        if (i + 4 >= escaped.size()) {
+          return Status::ParseError("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int d = 1; d <= 4; ++d) {
+          const char h = escaped[i + d];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+          else return Status::ParseError("bad \\u escape");
+        }
+        if (code > 0x7F) {
+          return Status::ParseError("non-ASCII \\u escape unsupported");
+        }
+        out.push_back(static_cast<char>(code));
+        i += 4;
+        break;
+      }
+      default:
+        return Status::ParseError("unknown escape in JSON string");
+    }
+  }
+  return out;
+}
+
+bool JsonHasKey(const std::string& line, const std::string& name) {
+  return line.find("\"" + name + "\"") != std::string::npos;
+}
+
+StatusOr<std::string> JsonExtractString(const std::string& line,
+                                        const std::string& name) {
+  const std::string needle = "\"" + name + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return Status::ParseError("missing key '" + name + "'");
+  }
+  pos = line.find('"', line.find(':', pos + needle.size()));
+  if (pos == std::string::npos) {
+    return Status::ParseError("malformed value for '" + name + "'");
+  }
+  std::string value;
+  for (size_t i = pos + 1; i < line.size(); ++i) {
+    if (line[i] == '\\') {
+      if (i + 1 >= line.size()) break;
+      value.push_back('\\');
+      value.push_back(line[++i]);
+      continue;
+    }
+    if (line[i] == '"') return JsonUnescape(value);
+    value.push_back(line[i]);
+  }
+  return Status::ParseError("unterminated value for '" + name + "'");
+}
+
+StatusOr<double> JsonExtractNumber(const std::string& line,
+                                   const std::string& name) {
+  const std::string needle = "\"" + name + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return Status::ParseError("missing key '" + name + "'");
+  }
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return Status::ParseError("malformed value for '" + name + "'");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + pos + 1, &end);
+  if (end == line.c_str() + pos + 1) {
+    return Status::ParseError("non-numeric value for '" + name + "'");
+  }
+  return v;
+}
+
+}  // namespace isum

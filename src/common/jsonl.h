@@ -1,0 +1,33 @@
+#ifndef ISUM_COMMON_JSONL_H_
+#define ISUM_COMMON_JSONL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace isum {
+
+/// Minimal JSON-lines helpers shared by the Query-Store and statistics
+/// loaders: one flat JSON object per line, string and number values only.
+/// Not a general JSON parser — exactly what those formats need.
+
+/// Escapes a raw string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& raw);
+
+/// Reverses JsonEscape (ASCII \u escapes only).
+StatusOr<std::string> JsonUnescape(const std::string& escaped);
+
+/// Extracts the string value of key `name` from a single-line JSON object.
+StatusOr<std::string> JsonExtractString(const std::string& line,
+                                        const std::string& name);
+
+/// Extracts the numeric value of key `name`.
+StatusOr<double> JsonExtractNumber(const std::string& line,
+                                   const std::string& name);
+
+/// True if the object has key `name`.
+bool JsonHasKey(const std::string& line, const std::string& name);
+
+}  // namespace isum
+
+#endif  // ISUM_COMMON_JSONL_H_

@@ -1,0 +1,90 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace isum {
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+}
+
+double StdDev(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  double m = Mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(x.size()));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&x](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
+double Percentile(std::vector<double> x, double p) {
+  if (x.empty()) return 0.0;
+  std::sort(x.begin(), x.end());
+  const double pos = Clamp(p, 0.0, 100.0) / 100.0 *
+                     static_cast<double>(x.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, x.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+void MinMaxNormalize(std::vector<double>& values) {
+  if (values.empty()) return;
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double range = *mx_it - *mn_it;
+  if (range <= 0.0) {
+    std::fill(values.begin(), values.end(), 1.0);
+    return;
+  }
+  for (double& v : values) v = v / range;
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace isum

@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace isum {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Box–Muller; drop the second variate to keep state handling simple.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    Shuffle(out);
+    return out;
+  }
+  out.reserve(k);
+  // Floyd's algorithm: O(k) expected insertions.
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = NextUint64(j + 1);
+    bool seen = false;
+    for (size_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  Shuffle(out);
+  return out;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  uint64_t mix = s_[0] ^ Rotl(s_[3], 13) ^ (stream_id * 0x9E3779B97F4A7C15ull);
+  return Rng(mix);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew) : n_(n), skew_(skew) {
+  assert(n >= 1);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -skew));
+}
+
+double ZipfSampler::H(double x) const {
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - skew_) / (1.0 - skew_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - skew_) * x, 1.0 / (1.0 - skew_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  if (skew_ <= 1e-12) return 1 + rng.NextUint64(n_);
+  for (;;) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(k, -skew_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace isum

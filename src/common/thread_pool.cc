@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace isum {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    size_t index = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] {
+        return shutdown_ || (batch_fn_ != nullptr && next_index_ < batch_size_);
+      });
+      if (shutdown_) return;
+      index = next_index_++;
+      fn = batch_fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++completed_ == batch_size_) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return completed_ == batch_size_; });
+  batch_fn_ = nullptr;
+}
+
+}  // namespace isum

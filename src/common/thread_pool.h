@@ -1,0 +1,49 @@
+#ifndef ISUM_COMMON_THREAD_POOL_H_
+#define ISUM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace isum {
+
+/// A small fixed-size worker pool. Used for embarrassingly parallel
+/// what-if evaluation during configuration enumeration; results must be
+/// reduced deterministically by the caller (e.g. by index) so thread count
+/// never changes outcomes.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), distributing across workers; blocks until
+  /// every call returned. fn must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  // Current batch state (one ParallelFor at a time).
+  const std::function<void(size_t)>* batch_fn_ = nullptr;
+  size_t batch_size_ = 0;
+  size_t next_index_ = 0;
+  size_t completed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace isum
+
+#endif  // ISUM_COMMON_THREAD_POOL_H_

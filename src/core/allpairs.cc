@@ -1,0 +1,37 @@
+#include "core/allpairs.h"
+
+#include "core/benefit.h"
+
+namespace isum::core {
+
+SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
+                                     UpdateStrategy strategy) {
+  SelectionResult result;
+  while (result.selected.size() < k) {
+    // Algorithm 2, line 12: when every remaining query is fully covered,
+    // reset features to their original weights and keep going.
+    std::vector<size_t> eligible = state.EligibleQueries();
+    if (eligible.empty()) {
+      state.ResetUnselectedFeatures();
+      eligible = state.EligibleQueries();
+      if (eligible.empty()) break;  // every query already selected
+    }
+
+    // Algorithm 1: argmax over conditional benefit.
+    double max_benefit = -1.0;
+    size_t best = eligible.front();
+    for (size_t i : eligible) {
+      const double benefit = ConditionalBenefit(state, i);
+      if (benefit > max_benefit) {
+        max_benefit = benefit;
+        best = i;
+      }
+    }
+    result.selected.push_back(best);
+    result.selection_benefits.push_back(max_benefit);
+    state.SelectAndUpdate(best, strategy);
+  }
+  return result;
+}
+
+}  // namespace isum::core

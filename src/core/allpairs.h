@@ -1,0 +1,26 @@
+#ifndef ISUM_CORE_ALLPAIRS_H_
+#define ISUM_CORE_ALLPAIRS_H_
+
+#include <vector>
+
+#include "core/compression_state.h"
+
+namespace isum::core {
+
+/// Result of a greedy selection run: chosen query indices in selection order
+/// and the conditional benefit each had at selection time.
+struct SelectionResult {
+  std::vector<size_t> selected;
+  std::vector<double> selection_benefits;
+};
+
+/// Algorithms 1–2 of the paper: in each of k rounds, scan all pairs to find
+/// the query with the maximum conditional benefit, select it, and update the
+/// remaining queries per `strategy` (resetting features when every
+/// unselected query is fully covered). O(k·n²) similarity evaluations.
+SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
+                                     UpdateStrategy strategy);
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_ALLPAIRS_H_

@@ -1,0 +1,23 @@
+#include "core/benefit.h"
+
+namespace isum::core {
+
+double Influence(const CompressionState& state, size_t i, size_t j) {
+  if (i == j) return 0.0;
+  return state.Similarity(i, j) * state.utility(j);
+}
+
+double InfluenceOnWorkload(const CompressionState& state, size_t s) {
+  double total = 0.0;
+  for (size_t j = 0; j < state.size(); ++j) {
+    if (j == s || state.selected(j)) continue;
+    total += Influence(state, s, j);
+  }
+  return total;
+}
+
+double ConditionalBenefit(const CompressionState& state, size_t i) {
+  return state.utility(i) + InfluenceOnWorkload(state, i);
+}
+
+}  // namespace isum::core

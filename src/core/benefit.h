@@ -1,0 +1,26 @@
+#ifndef ISUM_CORE_BENEFIT_H_
+#define ISUM_CORE_BENEFIT_H_
+
+#include <cstddef>
+
+#include "core/compression_state.h"
+
+namespace isum::core {
+
+/// Influence of query i on query j under the current state (Definition 3):
+/// F_{q_i}(q_j) = S(q_i, q_j) × U(q_j).
+double Influence(const CompressionState& state, size_t i, size_t j);
+
+/// Benefit of a single query (Definition 4 / conditional benefit,
+/// Definition 10, under the current state): its (discounted) utility plus
+/// its influence over the other unselected queries.
+double ConditionalBenefit(const CompressionState& state, size_t i);
+
+/// Influence of query s on the whole workload, F_{q_s}(W): the sum of its
+/// influence over all other unselected queries (the quantity the summary
+/// features approximate, §6.1).
+double InfluenceOnWorkload(const CompressionState& state, size_t s);
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_BENEFIT_H_

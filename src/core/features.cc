@@ -1,0 +1,181 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isum::core {
+
+int FeatureSpace::GetOrCreate(catalog::ColumnId column) {
+  auto it = ids_.find(column);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(columns_.size());
+  ids_.emplace(column, id);
+  columns_.push_back(column);
+  return id;
+}
+
+int FeatureSpace::Find(catalog::ColumnId column) const {
+  auto it = ids_.find(column);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+SparseVector SparseVector::FromPairs(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.feature < b.feature; });
+  SparseVector out;
+  for (const Entry& e : entries) {
+    if (!out.entries_.empty() && out.entries_.back().feature == e.feature) {
+      out.entries_.back().weight += e.weight;
+    } else {
+      out.entries_.push_back(e);
+    }
+  }
+  return out;
+}
+
+void SparseVector::Set(int feature, double weight) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), feature,
+      [](const Entry& e, int f) { return e.feature < f; });
+  if (it != entries_.end() && it->feature == feature) {
+    if (weight == 0.0) {
+      entries_.erase(it);
+    } else {
+      it->weight = weight;
+    }
+  } else if (weight != 0.0) {
+    entries_.insert(it, Entry{feature, weight});
+  }
+}
+
+double SparseVector::Get(int feature) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), feature,
+      [](const Entry& e, int f) { return e.feature < f; });
+  return (it != entries_.end() && it->feature == feature) ? it->weight : 0.0;
+}
+
+bool SparseVector::AllZero() const {
+  for (const Entry& e : entries_) {
+    if (e.weight > 0.0) return false;
+  }
+  return true;
+}
+
+double SparseVector::Sum() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.weight;
+  return s;
+}
+
+double SparseVector::MaxWeight() const {
+  double m = 0.0;
+  for (const Entry& e : entries_) m = std::max(m, e.weight);
+  return m;
+}
+
+void SparseVector::AddScaled(const SparseVector& other, double scale) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].feature < other.entries_[j].feature)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() ||
+               other.entries_[j].feature < entries_[i].feature) {
+      merged.push_back(Entry{other.entries_[j].feature,
+                             other.entries_[j].weight * scale});
+      ++j;
+    } else {
+      merged.push_back(Entry{entries_[i].feature,
+                             entries_[i].weight + other.entries_[j].weight * scale});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void SparseVector::SubtractScaledClamped(const SparseVector& other,
+                                         double scale) {
+  AddScaled(other, -scale);
+  for (Entry& e : entries_) e.weight = std::max(0.0, e.weight);
+}
+
+void SparseVector::Scale(double scale) {
+  for (Entry& e : entries_) e.weight *= scale;
+}
+
+void SparseVector::SubtractFromAllClamped(double delta) {
+  for (Entry& e : entries_) e.weight = std::max(0.0, e.weight - delta);
+}
+
+void SparseVector::ZeroWhere(const SparseVector& mask) {
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < mask.entries_.size()) {
+    if (entries_[i].feature < mask.entries_[j].feature) {
+      ++i;
+    } else if (mask.entries_[j].feature < entries_[i].feature) {
+      ++j;
+    } else {
+      if (mask.entries_[j].weight > 0.0) entries_[i].weight = 0.0;
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void SparseVector::Prune() {
+  std::erase_if(entries_, [](const Entry& e) { return e.weight == 0.0; });
+}
+
+double WeightedJaccard(const SparseVector& a, const SparseVector& b) {
+  double min_sum = 0.0, max_sum = 0.0;
+  const auto& ae = a.entries();
+  const auto& be = b.entries();
+  size_t i = 0, j = 0;
+  while (i < ae.size() || j < be.size()) {
+    if (j >= be.size() || (i < ae.size() && ae[i].feature < be[j].feature)) {
+      max_sum += ae[i].weight;
+      ++i;
+    } else if (i >= ae.size() || be[j].feature < ae[i].feature) {
+      max_sum += be[j].weight;
+      ++j;
+    } else {
+      min_sum += std::min(ae[i].weight, be[j].weight);
+      max_sum += std::max(ae[i].weight, be[j].weight);
+      ++i;
+      ++j;
+    }
+  }
+  return max_sum > 0.0 ? min_sum / max_sum : 0.0;
+}
+
+double BinaryJaccard(const SparseVector& a, const SparseVector& b) {
+  const auto& ae = a.entries();
+  const auto& be = b.entries();
+  size_t i = 0, j = 0;
+  double inter = 0.0, uni = 0.0;
+  while (i < ae.size() || j < be.size()) {
+    const bool a_live = i < ae.size();
+    const bool b_live = j < be.size();
+    if (b_live && (!a_live || be[j].feature < ae[i].feature)) {
+      if (be[j].weight > 0.0) uni += 1.0;
+      ++j;
+    } else if (a_live && (!b_live || ae[i].feature < be[j].feature)) {
+      if (ae[i].weight > 0.0) uni += 1.0;
+      ++i;
+    } else {
+      const bool av = ae[i].weight > 0.0;
+      const bool bv = be[j].weight > 0.0;
+      if (av || bv) uni += 1.0;
+      if (av && bv) inter += 1.0;
+      ++i;
+      ++j;
+    }
+  }
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace isum::core

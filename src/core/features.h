@@ -1,0 +1,99 @@
+#ifndef ISUM_CORE_FEATURES_H_
+#define ISUM_CORE_FEATURES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace isum::core {
+
+/// Interns indexable columns ("table.column") into dense feature ids shared
+/// across a workload, so query features are small sorted sparse vectors.
+class FeatureSpace {
+ public:
+  /// Returns the feature id for `column`, creating one if needed.
+  int GetOrCreate(catalog::ColumnId column);
+
+  /// Returns the feature id or -1 if the column was never interned.
+  int Find(catalog::ColumnId column) const;
+
+  /// The column behind feature id `id`.
+  catalog::ColumnId column(int id) const { return columns_[id]; }
+
+  size_t size() const { return columns_.size(); }
+
+ private:
+  std::unordered_map<catalog::ColumnId, int> ids_;
+  std::vector<catalog::ColumnId> columns_;
+};
+
+/// A sparse non-negative feature vector: sorted (feature id, weight) pairs.
+/// This is the paper's "query features" representation (Definition 6) and
+/// also holds workload summary features (Definition 11).
+class SparseVector {
+ public:
+  struct Entry {
+    int feature;
+    double weight;
+  };
+
+  SparseVector() = default;
+
+  /// Builds from unsorted (feature, weight) pairs; duplicate features sum.
+  static SparseVector FromPairs(std::vector<Entry> entries);
+
+  /// Sets `feature` to `weight` (inserting or overwriting; 0 removes).
+  void Set(int feature, double weight);
+
+  /// Weight for `feature`, 0 if absent.
+  double Get(int feature) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True if every stored weight is zero (or the vector is empty).
+  bool AllZero() const;
+
+  /// Sum of weights.
+  double Sum() const;
+  /// Largest weight (0 if empty).
+  double MaxWeight() const;
+
+  /// this += other * scale (union of supports).
+  void AddScaled(const SparseVector& other, double scale);
+
+  /// this -= other * scale, clamping weights at 0.
+  void SubtractScaledClamped(const SparseVector& other, double scale);
+
+  /// Multiplies every weight by `scale`.
+  void Scale(double scale);
+
+  /// Subtracts `delta` from every *present* weight, clamping at 0
+  /// (the paper's "weight subtract" update option, §4.3).
+  void SubtractFromAllClamped(double delta);
+
+  /// Zeroes every feature that is present with weight > 0 in `mask`
+  /// (the paper's "feature remove/cover" update option, §4.3).
+  void ZeroWhere(const SparseVector& mask);
+
+  /// Drops explicit zero entries.
+  void Prune();
+
+ private:
+  std::vector<Entry> entries_;  // sorted by feature id
+};
+
+/// Weighted Jaccard similarity (paper §4.2):
+///   sum_c min(a_c, b_c) / sum_c max(a_c, b_c);  0 when both empty.
+double WeightedJaccard(const SparseVector& a, const SparseVector& b);
+
+/// Plain (binary) Jaccard over the supports of a and b (zero-weight entries
+/// excluded).
+double BinaryJaccard(const SparseVector& a, const SparseVector& b);
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_FEATURES_H_

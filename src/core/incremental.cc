@@ -1,0 +1,103 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace isum::core {
+
+IncrementalIsum::IncrementalIsum(const workload::Workload* workload, size_t k,
+                                 IsumOptions options)
+    : workload_(workload),
+      k_(k),
+      options_(options),
+      featurizer_(workload->env().catalog, workload->env().stats, &space_) {}
+
+double IncrementalIsum::Benefit(const Candidate& candidate) const {
+  if (total_delta_ <= 0.0) return 0.0;
+  const double utility = candidate.delta / total_delta_;
+  // V' excludes the candidate's own contribution and renormalizes the
+  // remaining utility mass (the incremental analogue of Algorithm 3,
+  // lines 9-12, with Δ-weighted sums scaled into utility units).
+  SparseVector v_prime = summary_;
+  v_prime.SubtractScaledClamped(candidate.original_features, candidate.delta);
+  const double remaining = total_delta_ - candidate.delta;
+  if (remaining > 1e-15) {
+    v_prime.Scale(1.0 / remaining);
+  } else {
+    v_prime.Scale(0.0);
+  }
+  return utility + WeightedJaccard(candidate.features, v_prime);
+}
+
+void IncrementalIsum::Reselect(std::vector<Candidate> pool) {
+  // Restore current features before greedy re-runs its conditional updates.
+  for (Candidate& c : pool) c.features = c.original_features;
+
+  std::vector<Candidate> chosen;
+  std::vector<bool> taken(pool.size(), false);
+  while (chosen.size() < k_) {
+    double best_benefit = -1.0;
+    size_t best = pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i] || pool[i].features.AllZero()) continue;
+      const double b = Benefit(pool[i]);
+      if (b > best_benefit) {
+        best_benefit = b;
+        best = i;
+      }
+    }
+    if (best == pool.size()) {
+      // Every remaining candidate is fully covered: reset features to their
+      // originals and retry (Algorithm 2, line 12), unless nothing is left.
+      bool any_left = false;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!taken[i]) {
+          pool[i].features = pool[i].original_features;
+          any_left = any_left || !pool[i].features.AllZero();
+        }
+      }
+      if (!any_left) break;
+      continue;
+    }
+    taken[best] = true;
+    Candidate picked = pool[best];
+    picked.last_benefit = best_benefit;
+    // Conditional update within the pool (feature-zero, §4.3).
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (!taken[i]) pool[i].features.ZeroWhere(picked.features);
+    }
+    chosen.push_back(std::move(picked));
+  }
+  selected_ = std::move(chosen);
+}
+
+void IncrementalIsum::ObserveBatch(size_t begin, size_t end) {
+  assert(end <= workload_->size());
+  std::vector<Candidate> pool = selected_;
+  for (size_t i = begin; i < end; ++i) {
+    const workload::QueryInfo& q = workload_->query(i);
+    Candidate c;
+    c.query_index = i;
+    c.original_features =
+        featurizer_.Featurize(q.bound, options_.featurization);
+    c.features = c.original_features;
+    c.delta = std::max(0.0, EstimatedReduction(q, options_.utility_mode));
+    // Global accumulators cover every observed query, selected or not.
+    total_delta_ += c.delta;
+    summary_.AddScaled(c.original_features, c.delta);
+    pool.push_back(std::move(c));
+    ++observed_;
+  }
+  Reselect(std::move(pool));
+}
+
+workload::CompressedWorkload IncrementalIsum::Current() const {
+  workload::CompressedWorkload out;
+  for (const Candidate& c : selected_) {
+    out.entries.push_back({c.query_index, std::max(1e-12, c.last_benefit)});
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace isum::core

@@ -1,0 +1,77 @@
+#ifndef ISUM_CORE_INCREMENTAL_H_
+#define ISUM_CORE_INCREMENTAL_H_
+
+#include "core/isum.h"
+
+namespace isum::core {
+
+/// Incremental ("anytime") workload compression — the future-work direction
+/// of the paper's §10: index advisors tune with a time budget and consume
+/// queries incrementally, while batch ISUM needs the whole workload up
+/// front. IncrementalIsum observes the input workload in batches and keeps
+/// a current selection of at most k queries at all times, so the tuner can
+/// start (or be re-run) after any prefix of the stream.
+///
+/// Approach: maintain (a) the running total of estimated reductions Δ and
+/// (b) delta-weighted workload summary features V over *all* queries seen so
+/// far (built incrementally — no second pass). After each batch, re-select k
+/// queries from the small pool {current selection} ∪ {batch} by the same
+/// benefit measure as Algorithm 3 — utility + similarity to the
+/// (self-excluded, renormalized) summary — with feature-zero conditional
+/// updates inside the pool. Per-batch work is O((k + B) · f), independent of
+/// the stream length.
+///
+/// Deviation from batch ISUM (documented in DESIGN.md): queries that were
+/// never selected cannot be revisited once their batch has passed, and
+/// Current() weighs queries by their recorded selection benefits (the full
+/// Algorithm 5 recalibration would need the whole workload again). The
+/// bench `bench_ext_incremental` quantifies the quality gap.
+class IncrementalIsum {
+ public:
+  /// Observes queries from `workload` (which also supplies catalog/stats).
+  /// Only featurization options and the utility mode of `options` are used;
+  /// the algorithm is the summary-features greedy by construction.
+  IncrementalIsum(const workload::Workload* workload, size_t k,
+                  IsumOptions options = {});
+
+  /// Consumes workload queries with indices in [begin, end). Batches must
+  /// be disjoint and observed in order.
+  void ObserveBatch(size_t begin, size_t end);
+
+  /// Number of queries observed so far.
+  size_t observed() const { return observed_; }
+
+  /// The current compressed workload (selection + normalized weights).
+  /// Valid after every ObserveBatch call.
+  workload::CompressedWorkload Current() const;
+
+ private:
+  struct Candidate {
+    size_t query_index;
+    SparseVector features;       ///< current (possibly feature-zeroed)
+    SparseVector original_features;
+    double delta = 0.0;          ///< estimated reduction Δ(q)
+    double last_benefit = 0.0;   ///< benefit at the last re-selection
+  };
+
+  /// Benefit of `candidate` against the global summary (Algorithm 3 form).
+  double Benefit(const Candidate& candidate) const;
+
+  /// Re-selects k from `pool` (greedy, feature-zero updates inside pool).
+  void Reselect(std::vector<Candidate> pool);
+
+  const workload::Workload* workload_;
+  size_t k_;
+  IsumOptions options_;
+  FeatureSpace space_;
+  Featurizer featurizer_;
+
+  double total_delta_ = 0.0;
+  SparseVector summary_;  ///< Σ features(q) · Δ(q) over ALL observed queries
+  size_t observed_ = 0;
+  std::vector<Candidate> selected_;
+};
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_INCREMENTAL_H_

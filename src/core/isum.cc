@@ -1,0 +1,29 @@
+#include "core/isum.h"
+
+namespace isum::core {
+
+SelectionResult Isum::Select(size_t k) const {
+  CompressionState state = MakeState();
+  switch (options_.algorithm) {
+    case SelectionAlgorithm::kAllPairs:
+      return AllPairsGreedySelect(state, k, options_.update);
+    case SelectionAlgorithm::kSummaryFeatures:
+      return SummaryGreedySelect(state, k, options_.update);
+  }
+  return {};
+}
+
+workload::CompressedWorkload Isum::Compress(size_t k) const {
+  const SelectionResult selection = Select(k);
+  const std::vector<double> weights =
+      WeighSelectedQueries(*workload_, selection, options_.featurization,
+                           options_.utility_mode, options_.weighing);
+  workload::CompressedWorkload out;
+  out.entries.reserve(selection.selected.size());
+  for (size_t i = 0; i < selection.selected.size(); ++i) {
+    out.entries.push_back({selection.selected[i], weights[i]});
+  }
+  return out;
+}
+
+}  // namespace isum::core

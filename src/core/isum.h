@@ -1,0 +1,74 @@
+#ifndef ISUM_CORE_ISUM_H_
+#define ISUM_CORE_ISUM_H_
+
+#include "core/summary.h"
+#include "core/weighing.h"
+
+namespace isum::core {
+
+/// Which greedy algorithm drives selection.
+enum class SelectionAlgorithm {
+  /// Algorithms 1–2: O(k·n²) all-pairs comparisons.
+  kAllPairs,
+  /// Algorithm 3: O(k·n) via workload summary features. The default.
+  kSummaryFeatures,
+};
+
+/// Full configuration of the ISUM compressor. The defaults are the paper's
+/// default ISUM; `StatsVariant()` returns ISUM-S.
+struct IsumOptions {
+  FeaturizationOptions featurization;  // rule-based, table weights on
+  UtilityMode utility_mode = UtilityMode::kCostOnly;
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kSummaryFeatures;
+  UpdateStrategy update = UpdateStrategy::kUtilityAndFeatureZero;
+  WeighingStrategy weighing = WeighingStrategy::kRecalibratedWithTemplates;
+
+  /// ISUM-S: stats-based column weights + selectivity-aware utility.
+  static IsumOptions StatsVariant() {
+    IsumOptions o;
+    o.featurization.scheme = WeightingScheme::kStatsBased;
+    o.utility_mode = UtilityMode::kCostTimesSelectivity;
+    return o;
+  }
+
+  /// ISUM-NoTable (Figure 10): stats-based weights without table sizes.
+  static IsumOptions NoTableVariant() {
+    IsumOptions o = StatsVariant();
+    o.featurization.use_table_weight = false;
+    return o;
+  }
+};
+
+/// The ISUM workload compressor (the paper's contribution): selects k
+/// queries maximizing estimated benefit and weighs them for the tuner.
+class Isum {
+ public:
+  explicit Isum(const workload::Workload* workload, IsumOptions options = {})
+      : workload_(workload), options_(options) {}
+
+  /// Compresses to (at most) k weighted queries. May return fewer than k
+  /// when the remaining queries have no indexable columns at all (nothing
+  /// an index tuner could use them for — Algorithm 1 skips zero-feature
+  /// queries, and resetting cannot revive a query that never had features).
+  workload::CompressedWorkload Compress(size_t k) const;
+
+  /// Runs only the selection stage (exposed for ablation benches).
+  SelectionResult Select(size_t k) const;
+
+  /// Builds a fresh compression state for this workload/options (exposed for
+  /// correlation benches, Figures 5–8).
+  CompressionState MakeState() const {
+    return CompressionState(*workload_, options_.featurization,
+                            options_.utility_mode);
+  }
+
+  const IsumOptions& options() const { return options_; }
+
+ private:
+  const workload::Workload* workload_;
+  IsumOptions options_;
+};
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_ISUM_H_

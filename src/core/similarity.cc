@@ -1,0 +1,68 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "advisor/candidate_generation.h"
+
+namespace isum::core {
+
+namespace {
+
+std::vector<std::string> CandidateKeys(const sql::BoundQuery& q,
+                                       const stats::StatsManager& stats) {
+  advisor::CandidateGenOptions gen;
+  gen.covering_variants = false;
+  std::vector<std::string> keys;
+  for (const engine::Index& index : advisor::GenerateCandidates(q, stats, gen)) {
+    keys.push_back(index.CanonicalKey());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<catalog::ColumnId> AllIndexable(const sql::BoundQuery& q) {
+  const advisor::IndexableColumns cols = advisor::ExtractIndexableColumns(q);
+  std::vector<catalog::ColumnId> all;
+  all.insert(all.end(), cols.filter_columns.begin(), cols.filter_columns.end());
+  all.insert(all.end(), cols.join_columns.begin(), cols.join_columns.end());
+  all.insert(all.end(), cols.group_by_columns.begin(), cols.group_by_columns.end());
+  all.insert(all.end(), cols.order_by_columns.begin(), cols.order_by_columns.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+template <typename T>
+double SortedJaccard(const std::vector<T>& a, const std::vector<T>& b) {
+  size_t i = 0, j = 0;
+  double inter = 0.0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const double uni = static_cast<double>(a.size() + b.size()) - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace
+
+double CandidateIndexJaccard(const sql::BoundQuery& a, const sql::BoundQuery& b,
+                             const stats::StatsManager& stats) {
+  return SortedJaccard(CandidateKeys(a, stats), CandidateKeys(b, stats));
+}
+
+double IndexableColumnJaccard(const sql::BoundQuery& a,
+                              const sql::BoundQuery& b) {
+  return SortedJaccard(AllIndexable(a), AllIndexable(b));
+}
+
+}  // namespace isum::core

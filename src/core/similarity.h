@@ -1,0 +1,25 @@
+#ifndef ISUM_CORE_SIMILARITY_H_
+#define ISUM_CORE_SIMILARITY_H_
+
+#include "core/features.h"
+#include "sql/bound_query.h"
+#include "stats/stats_manager.h"
+
+namespace isum::core {
+
+/// Similarity measures compared in Figure 7 of the paper. The production
+/// measure is WeightedJaccard over query features (features.h); the two
+/// below are the ablation baselines.
+
+/// Jaccard over the sets of syntactic candidate indexes of the two queries
+/// (Figure 7a). Requires candidate generation per call — slow by design.
+double CandidateIndexJaccard(const sql::BoundQuery& a, const sql::BoundQuery& b,
+                             const stats::StatsManager& stats);
+
+/// Plain Jaccard over unweighted indexable-column sets (Figure 7b).
+double IndexableColumnJaccard(const sql::BoundQuery& a,
+                              const sql::BoundQuery& b);
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_SIMILARITY_H_

@@ -1,0 +1,65 @@
+#include "core/summary.h"
+
+namespace isum::core {
+
+SparseVector ComputeSummaryFeatures(const CompressionState& state) {
+  SparseVector v;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state.selected(i)) continue;
+    v.AddScaled(state.features(i), state.utility(i));
+  }
+  return v;
+}
+
+double SummaryInfluence(const SparseVector& query_features, double query_utility,
+                        double total_utility, const SparseVector& summary) {
+  // V' = (V - q_i × U(q_i)) × total / (total - U(q_i)): remove the query's
+  // own contribution and renormalize the remaining mass (Algorithm 3).
+  SparseVector v_prime = summary;
+  v_prime.SubtractScaledClamped(query_features, query_utility);
+  const double remaining = total_utility - query_utility;
+  if (remaining > 1e-15) {
+    v_prime.Scale(total_utility / remaining);
+  }
+  return WeightedJaccard(query_features, v_prime);
+}
+
+SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
+                                    UpdateStrategy strategy) {
+  SelectionResult result;
+  while (result.selected.size() < k) {
+    std::vector<size_t> eligible = state.EligibleQueries();
+    if (eligible.empty()) {
+      state.ResetUnselectedFeatures();
+      eligible = state.EligibleQueries();
+      if (eligible.empty()) break;
+    }
+
+    // Regenerate the summary over unselected queries (§6.2: updating V
+    // in place for conditional influence is too lossy).
+    const SparseVector summary = ComputeSummaryFeatures(state);
+    double total_utility = 0.0;
+    for (size_t i = 0; i < state.size(); ++i) {
+      if (!state.selected(i)) total_utility += state.utility(i);
+    }
+
+    double max_benefit = -1.0;
+    size_t best = eligible.front();
+    for (size_t i : eligible) {
+      const double benefit =
+          state.utility(i) + SummaryInfluence(state.features(i),
+                                              state.utility(i), total_utility,
+                                              summary);
+      if (benefit > max_benefit) {
+        max_benefit = benefit;
+        best = i;
+      }
+    }
+    result.selected.push_back(best);
+    result.selection_benefits.push_back(max_benefit);
+    state.SelectAndUpdate(best, strategy);
+  }
+  return result;
+}
+
+}  // namespace isum::core

@@ -1,0 +1,45 @@
+#include "core/utility.h"
+
+#include <algorithm>
+
+namespace isum::core {
+
+double AverageSelectivity(const sql::BoundQuery& query) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& f : query.filters) {
+    sum += std::clamp(f.selectivity, 0.0, 1.0);
+    ++count;
+  }
+  for (const auto& j : query.joins) {
+    sum += std::clamp(j.selectivity, 0.0, 1.0);
+    ++count;
+  }
+  return count > 0 ? sum / count : 1.0;
+}
+
+double EstimatedReduction(const workload::QueryInfo& query, UtilityMode mode) {
+  switch (mode) {
+    case UtilityMode::kCostOnly:
+      return query.base_cost;
+    case UtilityMode::kCostTimesSelectivity:
+      return (1.0 - AverageSelectivity(query.bound)) * query.base_cost;
+  }
+  return query.base_cost;
+}
+
+std::vector<double> ComputeUtilities(const workload::Workload& workload,
+                                     UtilityMode mode) {
+  std::vector<double> reductions(workload.size());
+  double total = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    reductions[i] = std::max(0.0, EstimatedReduction(workload.query(i), mode));
+    total += reductions[i];
+  }
+  if (total > 0.0) {
+    for (double& r : reductions) r /= total;
+  }
+  return reductions;
+}
+
+}  // namespace isum::core

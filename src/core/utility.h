@@ -1,0 +1,34 @@
+#ifndef ISUM_CORE_UTILITY_H_
+#define ISUM_CORE_UTILITY_H_
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace isum::core {
+
+/// How the estimated cost reduction Δ(q) is computed (§4.1).
+enum class UtilityMode {
+  /// Δ(q) = C(q): the query's cost proxies its improvement potential
+  /// (the paper shows correlation ≈ .97 on TPC-H). ISUM's default.
+  kCostOnly,
+  /// Δ(q) = (1 - Sel(q)) × C(q) with Sel(q) the average selectivity of the
+  /// query's filter and join columns. Used by ISUM-S.
+  kCostTimesSelectivity,
+};
+
+/// Estimated reduction in cost of one query when indexes are added, Δ(q).
+double EstimatedReduction(const workload::QueryInfo& query, UtilityMode mode);
+
+/// Average selectivity of filter and join predicates of a bound query
+/// (1.0 when it has none).
+double AverageSelectivity(const sql::BoundQuery& query);
+
+/// Utilities U(q_i) = Δ(q_i) / Σ_j Δ(q_j) for the whole workload
+/// (Definition 2). Sums to 1 unless all reductions are zero.
+std::vector<double> ComputeUtilities(const workload::Workload& workload,
+                                     UtilityMode mode);
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_UTILITY_H_

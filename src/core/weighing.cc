@@ -1,0 +1,117 @@
+#include "core/weighing.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace isum::core {
+
+namespace {
+
+std::vector<double> UniformWeights(size_t k) {
+  return std::vector<double>(k, k > 0 ? 1.0 / static_cast<double>(k) : 0.0);
+}
+
+std::vector<double> Normalized(std::vector<double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return UniformWeights(weights.size());
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
+                                         const SelectionResult& selection,
+                                         const FeaturizationOptions& feat_options,
+                                         UtilityMode utility_mode,
+                                         WeighingStrategy strategy) {
+  const size_t k = selection.selected.size();
+  if (k == 0) return {};
+  if (strategy == WeighingStrategy::kNone) return UniformWeights(k);
+  if (strategy == WeighingStrategy::kSelectionBenefit) {
+    return Normalized(selection.selection_benefits);
+  }
+
+  // --- Fresh signals (original features and utilities). ---
+  FeatureSpace space;
+  Featurizer featurizer(workload.env().catalog, workload.env().stats, &space);
+  std::vector<SparseVector> features(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    features[i] = featurizer.Featurize(workload.query(i).bound, feat_options);
+  }
+  std::vector<double> utilities = ComputeUtilities(workload, utility_mode);
+
+  std::unordered_set<size_t> selected_set(selection.selected.begin(),
+                                          selection.selected.end());
+
+  // Wu: the pool the summary is built from. Starts as W minus the selected
+  // queries; the template step below removes whole matching templates.
+  std::vector<bool> in_wu(workload.size(), true);
+  for (size_t s : selection.selected) in_wu[s] = false;
+
+  if (strategy == WeighingStrategy::kRecalibratedWithTemplates) {
+    // --- Algorithm 4: template-based utility computation. ---
+    struct TemplateAgg {
+      double freq_in_wk = 0.0;
+      double total_utility = 0.0;
+    };
+    std::unordered_map<uint64_t, TemplateAgg> agg;
+    for (size_t s : selection.selected) {
+      agg[workload.query(s).template_hash].freq_in_wk += 1.0;
+    }
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto it = agg.find(workload.query(i).template_hash);
+      if (it == agg.end()) continue;
+      it->second.total_utility += utilities[i];
+      in_wu[i] = false;  // W' drops all queries matching a selected template
+    }
+    for (size_t s : selection.selected) {
+      const TemplateAgg& a = agg[workload.query(s).template_hash];
+      utilities[s] = a.total_utility / std::max(1.0, a.freq_in_wk);
+    }
+  }
+
+  // --- Algorithm 5: iterative re-calibration against the Wu summary. ---
+  std::vector<size_t> remaining = selection.selected;
+  std::unordered_map<size_t, double> raw_weight;
+  while (!remaining.empty()) {
+    // Summary over current Wu signals.
+    SparseVector summary;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (in_wu[i]) summary.AddScaled(features[i], utilities[i]);
+    }
+
+    double max_benefit = -1.0;
+    size_t arg = 0;
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      const size_t qi = remaining[r];
+      const double benefit =
+          utilities[qi] + WeightedJaccard(features[qi], summary);
+      if (benefit > max_benefit) {
+        max_benefit = benefit;
+        arg = r;
+      }
+    }
+    const size_t chosen = remaining[arg];
+    raw_weight[chosen] = std::max(0.0, max_benefit);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(arg));
+
+    // UpdateWorkload(Wu, chosen): feature-zero + utility discount.
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (!in_wu[i]) continue;
+      const double sim = WeightedJaccard(features[chosen], features[i]);
+      utilities[i] -= utilities[i] * sim;
+      features[i].ZeroWhere(features[chosen]);
+    }
+  }
+
+  std::vector<double> weights(k, 0.0);
+  for (size_t r = 0; r < k; ++r) {
+    weights[r] = raw_weight[selection.selected[r]];
+  }
+  return Normalized(std::move(weights));
+}
+
+}  // namespace isum::core

@@ -1,0 +1,48 @@
+#ifndef ISUM_CORE_WEIGHTING_H_
+#define ISUM_CORE_WEIGHTING_H_
+
+#include "core/features.h"
+#include "sql/bound_query.h"
+#include "stats/stats_manager.h"
+
+namespace isum::core {
+
+/// How indexable-column weights are computed (§4.2 of the paper).
+enum class WeightingScheme {
+  /// Fraction of rule-generated candidate indexes containing the column,
+  /// times the table-size weight. ISUM's default.
+  kRuleBased,
+  /// (1 - selectivity) for filter/join columns, (1 - density) for
+  /// group-by/order-by columns, times the table-size weight. ISUM-S.
+  kStatsBased,
+};
+
+/// Featurization knobs.
+struct FeaturizationOptions {
+  WeightingScheme scheme = WeightingScheme::kRuleBased;
+  /// Weigh columns by their table's relative size, w_table(t) = n(t)/Σn(t')
+  /// over the query's tables. Disabled for the ISUM-NoTable ablation
+  /// (Figure 10).
+  bool use_table_weight = true;
+};
+
+/// Computes the paper's query features: one weight per indexable column,
+/// min-max normalized per query (w̄ = w / (max - min), §4.2).
+class Featurizer {
+ public:
+  Featurizer(const catalog::Catalog* catalog, const stats::StatsManager* stats,
+             FeatureSpace* space)
+      : catalog_(catalog), stats_(stats), space_(space) {}
+
+  SparseVector Featurize(const sql::BoundQuery& query,
+                         const FeaturizationOptions& options = {}) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  const stats::StatsManager* stats_;
+  FeatureSpace* space_;
+};
+
+}  // namespace isum::core
+
+#endif  // ISUM_CORE_WEIGHTING_H_

@@ -1,0 +1,122 @@
+#include "engine/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace isum::engine {
+
+namespace {
+constexpr uint64_t kPageBytes = 8192;
+// Row id + slot overhead per index entry.
+constexpr int32_t kEntryOverheadBytes = 12;
+}  // namespace
+
+Index::Index(catalog::TableId table, std::vector<catalog::ColumnId> key_columns,
+             std::vector<catalog::ColumnId> include_columns)
+    : table_(table),
+      key_columns_(std::move(key_columns)),
+      include_columns_(std::move(include_columns)) {
+  // Includes are an unordered set: canonicalize, and drop key duplicates.
+  std::sort(include_columns_.begin(), include_columns_.end());
+  include_columns_.erase(
+      std::unique(include_columns_.begin(), include_columns_.end()),
+      include_columns_.end());
+  std::erase_if(include_columns_, [this](catalog::ColumnId c) {
+    return std::find(key_columns_.begin(), key_columns_.end(), c) !=
+           key_columns_.end();
+  });
+}
+
+bool Index::ContainsColumn(catalog::ColumnId column) const {
+  return std::find(key_columns_.begin(), key_columns_.end(), column) !=
+             key_columns_.end() ||
+         std::binary_search(include_columns_.begin(), include_columns_.end(),
+                            column);
+}
+
+uint64_t Index::SizeBytes(const catalog::Catalog& catalog) const {
+  const catalog::Table& t = catalog.table(table_);
+  int32_t entry = kEntryOverheadBytes;
+  for (catalog::ColumnId c : key_columns_) entry += catalog.column(c).width_bytes;
+  for (catalog::ColumnId c : include_columns_) {
+    entry += catalog.column(c).width_bytes;
+  }
+  return t.row_count() * static_cast<uint64_t>(entry);
+}
+
+uint64_t Index::LeafPages(const catalog::Catalog& catalog) const {
+  return SizeBytes(catalog) / kPageBytes + 1;
+}
+
+int Index::HeightLevels(const catalog::Catalog& catalog) const {
+  // ~200 separators per internal page.
+  const double leaves = static_cast<double>(LeafPages(catalog));
+  return leaves <= 1.0
+             ? 1
+             : 1 + static_cast<int>(std::ceil(std::log(leaves) / std::log(200.0)));
+}
+
+std::string Index::DebugName(const catalog::Catalog& catalog) const {
+  std::string out = "IX_" + catalog.table(table_).name() + "(";
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += catalog.column(key_columns_[i]).name;
+  }
+  out += ")";
+  if (!include_columns_.empty()) {
+    out += StrFormat("+%zuinc", include_columns_.size());
+  }
+  return out;
+}
+
+std::string Index::ToDdl(const catalog::Catalog& catalog, int ordinal) const {
+  const std::string& table_name = catalog.table(table_).name();
+  std::string out =
+      StrFormat("CREATE INDEX ix_%s_%d ON %s (", table_name.c_str(), ordinal,
+                table_name.c_str());
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.column(key_columns_[i]).name;
+  }
+  out += ")";
+  if (!include_columns_.empty()) {
+    out += " INCLUDE (";
+    for (size_t i = 0; i < include_columns_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += catalog.column(include_columns_[i]).name;
+    }
+    out += ")";
+  }
+  out += ";";
+  return out;
+}
+
+std::string Index::CanonicalKey() const {
+  std::string out = StrFormat("t%d|k", table_);
+  for (catalog::ColumnId c : key_columns_) out += StrFormat("%d,", c.column);
+  out += "|i";
+  for (catalog::ColumnId c : include_columns_) out += StrFormat("%d,", c.column);
+  return out;
+}
+
+}  // namespace isum::engine
+
+namespace std {
+size_t hash<isum::engine::Index>::operator()(
+    const isum::engine::Index& index) const noexcept {
+  uint64_t h = static_cast<uint64_t>(index.table()) + 0x517CC1B7ull;
+  for (auto c : index.key_columns()) {
+    h = isum::HashCombine(h, (static_cast<uint64_t>(c.table) << 32) |
+                                 static_cast<uint32_t>(c.column));
+  }
+  h = isum::HashCombine(h, 0xABCDull);
+  for (auto c : index.include_columns()) {
+    h = isum::HashCombine(h, (static_cast<uint64_t>(c.table) << 32) |
+                                 static_cast<uint32_t>(c.column));
+  }
+  return static_cast<size_t>(h);
+}
+}  // namespace std

@@ -1,0 +1,72 @@
+#ifndef ISUM_ENGINE_INDEX_H_
+#define ISUM_ENGINE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace isum::engine {
+
+/// A (hypothetical) B-tree index: an ordered list of key columns over one
+/// table, plus optional leaf-level included columns. Indexes are value types;
+/// identity is (table, key order, include set).
+class Index {
+ public:
+  Index() = default;
+  Index(catalog::TableId table, std::vector<catalog::ColumnId> key_columns,
+        std::vector<catalog::ColumnId> include_columns = {});
+
+  catalog::TableId table() const { return table_; }
+  const std::vector<catalog::ColumnId>& key_columns() const {
+    return key_columns_;
+  }
+  const std::vector<catalog::ColumnId>& include_columns() const {
+    return include_columns_;
+  }
+
+  /// True if `column` appears among keys or includes.
+  bool ContainsColumn(catalog::ColumnId column) const;
+
+  /// Estimated on-disk size in bytes for the table's current row count.
+  uint64_t SizeBytes(const catalog::Catalog& catalog) const;
+
+  /// Estimated leaf-level pages (8 KiB).
+  uint64_t LeafPages(const catalog::Catalog& catalog) const;
+
+  /// Estimated B-tree height (levels above leaf).
+  int HeightLevels(const catalog::Catalog& catalog) const;
+
+  /// Human-readable name, e.g. "IX_lineitem(l_shipdate,l_orderkey)+2inc".
+  std::string DebugName(const catalog::Catalog& catalog) const;
+
+  /// Executable DDL, e.g.
+  /// "CREATE INDEX ix_lineitem_1 ON lineitem (l_shipdate) INCLUDE (l_tax);".
+  /// `ordinal` disambiguates names across one recommendation.
+  std::string ToDdl(const catalog::Catalog& catalog, int ordinal = 0) const;
+
+  /// Stable canonical key for hashing/equality across runs.
+  std::string CanonicalKey() const;
+
+  friend bool operator==(const Index& a, const Index& b) {
+    return a.table_ == b.table_ && a.key_columns_ == b.key_columns_ &&
+           a.include_columns_ == b.include_columns_;
+  }
+
+ private:
+  catalog::TableId table_ = catalog::kInvalidTableId;
+  std::vector<catalog::ColumnId> key_columns_;
+  std::vector<catalog::ColumnId> include_columns_;  // kept sorted
+};
+
+}  // namespace isum::engine
+
+namespace std {
+template <>
+struct hash<isum::engine::Index> {
+  size_t operator()(const isum::engine::Index& index) const noexcept;
+};
+}  // namespace std
+
+#endif  // ISUM_ENGINE_INDEX_H_

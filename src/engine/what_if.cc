@@ -1,0 +1,34 @@
+#include "engine/what_if.h"
+
+#include <chrono>
+
+namespace isum::engine {
+
+double WhatIfOptimizer::Cost(const sql::BoundQuery& query,
+                             const Configuration& config) {
+  const Key key{&query, config.StableHash()};
+  Shard& shard = shards_[KeyHash()(key) % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.cache.find(key);
+    if (it != shard.cache.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const double cost = optimizer_.Cost(query, config);
+  const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
+  optimizer_nanos_.fetch_add(static_cast<uint64_t>(nanos),
+                             std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.emplace(key, cost);
+  }
+  return cost;
+}
+
+}  // namespace isum::engine

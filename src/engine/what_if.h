@@ -1,0 +1,90 @@
+#ifndef ISUM_ENGINE_WHAT_IF_H_
+#define ISUM_ENGINE_WHAT_IF_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/optimizer.h"
+
+namespace isum::engine {
+
+/// The "what-if" API [15]: costs a query under a hypothetical index
+/// configuration without building indexes. Results are memoized per
+/// (query, configuration) pair and optimizer invocations are counted, so the
+/// advisor's call profile (Figure 2 of the paper) can be measured.
+///
+/// Cache keys use query object identity: a BoundQuery must stay at a stable
+/// address while a WhatIfOptimizer refers to it (Workload guarantees this).
+///
+/// Thread-safe: Cost() may be called concurrently (the advisor evaluates
+/// candidate configurations in parallel). The cache is sharded 16 ways so
+/// cache-hit-heavy parallel phases don't serialize on one mutex; the
+/// optimizer invocation itself runs outside any lock, so concurrent misses
+/// on the same key may both optimize (the second insert is a no-op).
+class WhatIfOptimizer {
+ public:
+  explicit WhatIfOptimizer(const CostModel* cost_model)
+      : optimizer_(cost_model) {}
+
+  /// Estimated cost of `query` under `config` (memoized).
+  double Cost(const sql::BoundQuery& query, const Configuration& config);
+
+  /// Full plan (not memoized; use for explain output).
+  PlanSummary Plan(const sql::BoundQuery& query,
+                   const Configuration& config) const {
+    return optimizer_.Optimize(query, config);
+  }
+
+  /// Number of real optimizer invocations (cache misses).
+  uint64_t optimizer_calls() const { return optimizer_calls_.load(); }
+  /// Number of calls answered from the cache.
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  /// Wall-clock seconds spent inside real optimizer invocations (the "time
+  /// on optimizer calls" series of the paper's Figure 2a). Accumulated
+  /// across threads (sums concurrent work, like CPU time).
+  double optimizer_seconds() const { return optimizer_nanos_.load() * 1e-9; }
+
+  void ResetCounters() {
+    optimizer_calls_ = 0;
+    cache_hits_ = 0;
+    optimizer_nanos_ = 0;
+  }
+  void ClearCache() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cache.clear();
+    }
+  }
+
+ private:
+  struct Key {
+    const void* query;
+    uint64_t config_hash;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept {
+      return std::hash<const void*>()(k.query) ^
+             static_cast<size_t>(k.config_hash * 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> cache;
+  };
+
+  Optimizer optimizer_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> optimizer_calls_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> optimizer_nanos_{0};
+};
+
+}  // namespace isum::engine
+
+#endif  // ISUM_ENGINE_WHAT_IF_H_

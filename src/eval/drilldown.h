@@ -1,0 +1,64 @@
+#ifndef ISUM_EVAL_DRILLDOWN_H_
+#define ISUM_EVAL_DRILLDOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/isum.h"
+#include "engine/configuration.h"
+#include "workload/workload.h"
+
+namespace isum::eval {
+
+/// The §10 interpretability extension: commercial advisors report, per input
+/// query, the estimated improvement and which indexes serve it — which costs
+/// one optimizer call per input query. This report instead explains the
+/// recommendation through the *compressed* workload: each selected query is
+/// shown with the input queries it represents (nearest-selected assignment
+/// by feature similarity), letting the user audit a large workload at the
+/// cost of k optimizer calls plus featurization.
+
+/// One input query's relationship to the recommendation.
+struct RepresentedQuery {
+  size_t query_index = 0;
+  /// Weighted-Jaccard similarity to its representative.
+  double similarity = 0.0;
+};
+
+/// One compressed-workload query with its followers and measured costs.
+struct DrilldownEntry {
+  size_t query_index = 0;
+  double weight = 0.0;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  /// Indexes (names) the query's tuned plan actually uses.
+  std::vector<std::string> indexes_used;
+  /// Input queries represented by this selected query (itself excluded).
+  std::vector<RepresentedQuery> represents;
+};
+
+/// Full report for a recommendation.
+struct DrilldownReport {
+  std::vector<DrilldownEntry> entries;
+  /// Input queries whose similarity to every selected query is ~0 — the
+  /// recommendation is blind to these (§10's interpretability gap).
+  std::vector<size_t> unrepresented;
+  /// Estimated improvement (%) over the compressed workload only — the
+  /// cheap stand-in for full-workload estimation the paper proposes.
+  double compressed_improvement_percent = 0.0;
+
+  /// Renders the report as human-readable text.
+  std::string ToString(const workload::Workload& workload) const;
+};
+
+/// Builds the report: costs each selected query before/after `config`,
+/// extracts the indexes its plan uses, and assigns every input query to its
+/// most similar selected query (similarity threshold 0 keeps everything).
+DrilldownReport BuildDrilldown(const workload::Workload& workload,
+                               const workload::CompressedWorkload& compressed,
+                               const engine::Configuration& config,
+                               double min_similarity = 0.05);
+
+}  // namespace isum::eval
+
+#endif  // ISUM_EVAL_DRILLDOWN_H_

@@ -1,0 +1,61 @@
+#include "eval/pipeline.h"
+
+#include <chrono>
+
+#include "engine/optimizer.h"
+
+namespace isum::eval {
+
+double WorkloadImprovementPercent(const workload::Workload& workload,
+                                  const engine::Configuration& config) {
+  const double base = workload.TotalCost();
+  if (base <= 0.0) return 0.0;
+  engine::Optimizer optimizer(workload.env().cost_model);
+  double tuned = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    tuned += optimizer.Cost(workload.query(i).bound, config);
+  }
+  return (base - tuned) / base * 100.0;
+}
+
+EvaluationResult RunPipeline(const workload::Workload& workload,
+                             const workload::CompressedWorkload& compressed,
+                             const TunerFn& tuner, std::string algorithm_name) {
+  EvaluationResult result;
+  result.algorithm = std::move(algorithm_name);
+  result.k = compressed.size();
+  result.compressed = compressed;
+
+  std::vector<advisor::WeightedQuery> queries;
+  queries.reserve(compressed.entries.size());
+  for (const auto& e : compressed.entries) {
+    queries.push_back({&workload.query(e.query_index).bound, e.weight});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  result.tuning = tuner(queries);
+  result.tuning_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.improvement_percent =
+      WorkloadImprovementPercent(workload, result.tuning.configuration);
+  return result;
+}
+
+TunerFn MakeDtaTuner(const workload::Workload& workload,
+                     const advisor::TuningOptions& options) {
+  const engine::CostModel* cm = workload.env().cost_model;
+  return [cm, options](const std::vector<advisor::WeightedQuery>& queries) {
+    return advisor::DtaStyleAdvisor(cm).Tune(queries, options);
+  };
+}
+
+TunerFn MakeDexterTuner(const workload::Workload& workload,
+                        const advisor::DexterOptions& options) {
+  const engine::CostModel* cm = workload.env().cost_model;
+  return [cm, options](const std::vector<advisor::WeightedQuery>& queries) {
+    return advisor::DexterStyleAdvisor(cm).Tune(queries, options);
+  };
+}
+
+}  // namespace isum::eval

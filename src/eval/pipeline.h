@@ -1,0 +1,74 @@
+#ifndef ISUM_EVAL_PIPELINE_H_
+#define ISUM_EVAL_PIPELINE_H_
+
+#include <functional>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "advisor/dexter_advisor.h"
+#include "baselines/compressor.h"
+#include "core/isum.h"
+
+namespace isum::eval {
+
+/// End-to-end result of compress -> tune -> evaluate for one algorithm/k.
+struct EvaluationResult {
+  std::string algorithm;
+  size_t k = 0;
+  /// Improvement (%) of the *full* workload under the recommended indexes:
+  /// (C(W) - C_k(W)) / C(W) × 100 (§8, Evaluation Metrics).
+  double improvement_percent = 0.0;
+  double compression_seconds = 0.0;
+  double tuning_seconds = 0.0;
+  advisor::TuningResult tuning;
+  workload::CompressedWorkload compressed;
+};
+
+/// Improvement (%) of `workload` under `config`, using the workload's own
+/// cost model (fresh optimizer pass per query; this is the "report estimated
+/// improvement on the entire input workload" step of §1/§10).
+double WorkloadImprovementPercent(const workload::Workload& workload,
+                                  const engine::Configuration& config);
+
+/// Tuner signature: weighted queries in, recommendation out. Lets the same
+/// pipeline drive the DTA-style and DEXTER-style advisors (§8.3).
+using TunerFn = std::function<advisor::TuningResult(
+    const std::vector<advisor::WeightedQuery>&)>;
+
+/// Runs `tuner` on the compressed workload and evaluates the recommended
+/// configuration on the full workload.
+EvaluationResult RunPipeline(const workload::Workload& workload,
+                             const workload::CompressedWorkload& compressed,
+                             const TunerFn& tuner, std::string algorithm_name);
+
+/// Convenience: DTA-style tuner with `options`.
+TunerFn MakeDtaTuner(const workload::Workload& workload,
+                     const advisor::TuningOptions& options);
+
+/// Convenience: DEXTER-style tuner with `options`.
+TunerFn MakeDexterTuner(const workload::Workload& workload,
+                        const advisor::DexterOptions& options);
+
+/// Adapts the ISUM compressor to the baselines::Compressor interface so
+/// experiment sweeps can treat all algorithms uniformly.
+class IsumCompressor : public baselines::Compressor {
+ public:
+  explicit IsumCompressor(core::IsumOptions options = {},
+                          std::string display_name = "ISUM")
+      : options_(options), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+
+  workload::CompressedWorkload Compress(const workload::Workload& workload,
+                                        size_t k) override {
+    return core::Isum(&workload, options_).Compress(k);
+  }
+
+ private:
+  core::IsumOptions options_;
+  std::string name_;
+};
+
+}  // namespace isum::eval
+
+#endif  // ISUM_EVAL_PIPELINE_H_

@@ -1,0 +1,72 @@
+#ifndef ISUM_EXEC_EXECUTOR_H_
+#define ISUM_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "engine/optimizer.h"
+#include "exec/index_data.h"
+
+namespace isum::exec {
+
+/// A materialized database: row data for every table plus lazily built
+/// index structures. Used to *calibrate* the cost model (estimated cost vs.
+/// executed work), never for benchmarking the algorithms themselves.
+class Database {
+ public:
+  Database(const catalog::Catalog* catalog, const stats::StatsManager* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  /// Materializes every table, capping each at `max_rows_per_table` rows
+  /// (calibration runs small). Deterministic in `seed`.
+  void MaterializeAll(uint64_t max_rows_per_table, uint64_t seed);
+
+  const TableData& table(catalog::TableId id) const {
+    return tables_.at(id);
+  }
+
+  /// Returns (building and caching on first use) the index structure.
+  const IndexData& GetIndex(const engine::Index& index);
+
+  const catalog::Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  const stats::StatsManager* stats_;
+  std::unordered_map<catalog::TableId, TableData> tables_;
+  std::unordered_map<engine::Index, IndexData> indexes_;
+};
+
+/// Outcome of executing one query plan.
+struct ExecutionResult {
+  double output_rows = 0.0;
+  /// Total rows touched across all operators (scans, probes, fetches,
+  /// aggregation input, sort comparisons) — the "actual work" proxy the
+  /// calibration experiments correlate with optimizer-estimated cost.
+  uint64_t row_ops = 0;
+  /// True if an intermediate result hit the tuple cap and was truncated
+  /// (row_ops is then a lower bound).
+  bool truncated = false;
+};
+
+/// Executes a bound query following the structure of an optimizer plan
+/// (access paths, join order and methods, aggregation, sort), counting rows
+/// touched. Non-evaluable predicates (LIKE, IS NULL, complex residuals) are
+/// applied as deterministic Bernoulli filters at their estimated
+/// selectivity — fine for work accounting, documented in DESIGN.md.
+class Executor {
+ public:
+  explicit Executor(Database* database, uint64_t tuple_cap = 2'000'000)
+      : database_(database), tuple_cap_(tuple_cap) {}
+
+  ExecutionResult Execute(const sql::BoundQuery& query,
+                          const engine::PlanSummary& plan);
+
+ private:
+  Database* database_;
+  uint64_t tuple_cap_;
+};
+
+}  // namespace isum::exec
+
+#endif  // ISUM_EXEC_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#include "exec/index_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace isum::exec {
+
+IndexData IndexData::Build(const engine::Index& index, const TableData& data) {
+  IndexData out;
+  out.index_ = index;
+  const size_t n = data.num_rows();
+  out.order_.resize(n);
+  std::iota(out.order_.begin(), out.order_.end(), 0u);
+
+  const auto& keys = index.key_columns();
+  std::sort(out.order_.begin(), out.order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              for (catalog::ColumnId key : keys) {
+                const double va = data.Value(key.column, a);
+                const double vb = data.Value(key.column, b);
+                if (va != vb) return va < vb;
+              }
+              return a < b;
+            });
+  out.leading_key_.reserve(n);
+  const int32_t lead = keys.empty() ? 0 : keys[0].column;
+  for (uint32_t row : out.order_) {
+    out.leading_key_.push_back(data.Value(lead, row));
+  }
+  return out;
+}
+
+std::vector<uint32_t> IndexData::LookupRange(double lo, double hi,
+                                             uint64_t* touched) const {
+  auto begin = std::lower_bound(leading_key_.begin(), leading_key_.end(), lo);
+  auto end = std::upper_bound(leading_key_.begin(), leading_key_.end(), hi);
+  const size_t from = static_cast<size_t>(begin - leading_key_.begin());
+  const size_t to = static_cast<size_t>(end - leading_key_.begin());
+  if (touched != nullptr) {
+    // Binary-search descent plus the scanned range.
+    *touched += static_cast<uint64_t>(
+        std::ceil(std::log2(std::max<size_t>(2, leading_key_.size()))));
+    *touched += to - from;
+  }
+  return std::vector<uint32_t>(order_.begin() + static_cast<ptrdiff_t>(from),
+                               order_.begin() + static_cast<ptrdiff_t>(to));
+}
+
+}  // namespace isum::exec

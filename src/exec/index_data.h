@@ -1,0 +1,47 @@
+#ifndef ISUM_EXEC_INDEX_DATA_H_
+#define ISUM_EXEC_INDEX_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/index.h"
+#include "exec/table_data.h"
+
+namespace isum::exec {
+
+/// A materialized secondary index: row ids of the base table ordered by the
+/// index's key columns. Supports range lookups on the leading key column
+/// (matching the cost model's seek semantics) with residual key predicates
+/// verified per touched entry.
+class IndexData {
+ public:
+  /// Builds the sort order for `index` over `data`.
+  static IndexData Build(const engine::Index& index, const TableData& data);
+
+  const engine::Index& index() const { return index_; }
+  size_t size() const { return order_.size(); }
+
+  /// Row ids whose leading key value lies in [lo, hi] (inclusive).
+  /// `touched` (optional) is incremented by the number of entries examined
+  /// (binary-search hops + matched range length).
+  std::vector<uint32_t> LookupRange(double lo, double hi,
+                                    uint64_t* touched = nullptr) const;
+
+  /// Row ids with leading key == v.
+  std::vector<uint32_t> LookupEquals(double v,
+                                     uint64_t* touched = nullptr) const {
+    return LookupRange(v, v, touched);
+  }
+
+  /// Row ids in index order (for ordered scans).
+  const std::vector<uint32_t>& ordered_rows() const { return order_; }
+
+ private:
+  engine::Index index_;
+  std::vector<double> leading_key_;   // sorted leading-key values
+  std::vector<uint32_t> order_;       // row ids in key order
+};
+
+}  // namespace isum::exec
+
+#endif  // ISUM_EXEC_INDEX_DATA_H_

@@ -1,0 +1,56 @@
+#include "exec/table_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isum::exec {
+
+namespace {
+
+/// Heuristic: statistics whose domain endpoints are integers describe
+/// integer-valued columns (keys, FKs, categories, dates); round samples so
+/// equality predicates and joins can match exactly.
+bool LooksIntegral(const stats::ColumnStats& s) {
+  return std::floor(s.min_value) == s.min_value &&
+         std::floor(s.max_value) == s.max_value &&
+         s.max_value - s.min_value >= 1.0;
+}
+
+}  // namespace
+
+TableData TableData::Materialize(const catalog::Catalog& catalog,
+                                 const stats::StatsManager& stats,
+                                 catalog::TableId table, Rng& rng,
+                                 uint64_t max_rows) {
+  TableData out;
+  out.table_ = table;
+  const catalog::Table& t = catalog.table(table);
+  const uint64_t rows =
+      max_rows > 0 ? std::min(max_rows, t.row_count()) : t.row_count();
+  out.num_rows_ = rows;
+  out.columns_.resize(t.columns().size());
+
+  for (const catalog::Column& col : t.columns()) {
+    const catalog::ColumnId id{table, col.ordinal};
+    const stats::ColumnStats& s = stats.GetStats(id);
+    std::vector<double>& data = out.columns_[static_cast<size_t>(col.ordinal)];
+    data.reserve(rows);
+    if (col.is_key) {
+      // Dense unique keys in a deterministic shuffle.
+      std::vector<size_t> perm = rng.SampleWithoutReplacement(rows, rows);
+      for (uint64_t i = 0; i < rows; ++i) {
+        data.push_back(static_cast<double>(perm[i] + 1));
+      }
+      continue;
+    }
+    const bool integral = LooksIntegral(s);
+    for (uint64_t i = 0; i < rows; ++i) {
+      double v = s.ValueAtQuantile(rng.NextDouble());
+      if (integral) v = std::round(v);
+      data.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace isum::exec

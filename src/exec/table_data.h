@@ -1,0 +1,52 @@
+#ifndef ISUM_EXEC_TABLE_DATA_H_
+#define ISUM_EXEC_TABLE_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "stats/stats_manager.h"
+
+namespace isum::exec {
+
+/// Materialized rows of one table, column-major. Values are in the same
+/// encoded-double domain the binder and statistics use, so predicates bound
+/// against statistics evaluate directly against the data.
+///
+/// Rows are drawn from the registered statistics via inverse-CDF sampling
+/// (histogram quantiles), so the materialized data matches the statistics
+/// the optimizer costed with *by construction* — the property the
+/// calibration experiments rely on. Key columns are dense 1..n; columns
+/// whose statistics look integral are rounded so equality joins match.
+class TableData {
+ public:
+  /// Materializes `table` with all its columns. `max_rows` caps the row
+  /// count (0 = the catalog's row count; keep this small — execution is for
+  /// calibration, not benchmarks).
+  static TableData Materialize(const catalog::Catalog& catalog,
+                               const stats::StatsManager& stats,
+                               catalog::TableId table, Rng& rng,
+                               uint64_t max_rows = 0);
+
+  catalog::TableId table() const { return table_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Value of `column` (ordinal) in `row`.
+  double Value(int32_t column, size_t row) const {
+    return columns_[static_cast<size_t>(column)][row];
+  }
+  const std::vector<double>& column(int32_t ordinal) const {
+    return columns_[static_cast<size_t>(ordinal)];
+  }
+
+ private:
+  catalog::TableId table_ = catalog::kInvalidTableId;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;  // [ordinal][row]
+};
+
+}  // namespace isum::exec
+
+#endif  // ISUM_EXEC_TABLE_DATA_H_

@@ -1,0 +1,96 @@
+#include "partition/partition_advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/optimizer.h"
+
+namespace isum::partition {
+
+namespace {
+
+/// Combined selectivity of the query's sargable filters on `column`
+/// (1.0 if none — no pruning).
+double PruningSelectivity(const sql::BoundQuery& query,
+                          catalog::ColumnId column) {
+  double sel = 1.0;
+  bool any = false;
+  for (const auto& f : query.filters) {
+    if (f.column == column && f.sargable) {
+      sel *= f.selectivity;
+      any = true;
+    }
+  }
+  return any ? sel : 1.0;
+}
+
+}  // namespace
+
+double CostWithPartitioning(const sql::BoundQuery& query,
+                            const PartitioningScheme& scheme,
+                            const engine::CostModel& cost_model) {
+  engine::Optimizer optimizer(&cost_model);
+  const engine::PlanSummary plan =
+      optimizer.Optimize(query, engine::Configuration());
+  double cost = plan.total_cost;
+  const double min_fraction =
+      1.0 / std::max(1, scheme.partitions_per_table);
+  for (const engine::PlannedTable& pt : plan.tables) {
+    auto it = scheme.columns.find(pt.table);
+    if (it == scheme.columns.end()) continue;
+    const double sel = PruningSelectivity(query, it->second);
+    if (sel >= 1.0) continue;
+    // Partition pruning: only matching partitions are read.
+    const double fraction = std::max(sel, min_fraction);
+    cost -= pt.access.cost * (1.0 - fraction);
+  }
+  return std::max(0.0, cost);
+}
+
+PartitionTuningResult PartitionAdvisor::Tune(
+    const std::vector<advisor::WeightedQuery>& queries,
+    const PartitionTuningOptions& options) const {
+  PartitionTuningResult result;
+
+  // Candidate (table, column) pairs: every sargable filter column.
+  std::set<catalog::ColumnId> candidates;
+  for (const advisor::WeightedQuery& wq : queries) {
+    for (const auto& f : wq.query->filters) {
+      if (f.sargable) candidates.insert(f.column);
+    }
+  }
+
+  auto weighted_cost = [&](const PartitioningScheme& scheme) {
+    double total = 0.0;
+    for (const advisor::WeightedQuery& wq : queries) {
+      total += wq.weight * CostWithPartitioning(*wq.query, scheme, *cost_model_);
+    }
+    return total;
+  };
+
+  double current = weighted_cost(result.scheme);
+  result.initial_cost = current;
+
+  while (static_cast<int>(result.scheme.columns.size()) <
+         options.max_partitioned_tables) {
+    double best_cost = current;
+    std::optional<catalog::ColumnId> best;
+    for (catalog::ColumnId c : candidates) {
+      if (result.scheme.columns.contains(c.table)) continue;  // one per table
+      PartitioningScheme trial = result.scheme;
+      trial.columns[c.table] = c;
+      const double cost = weighted_cost(trial);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    if (!best.has_value()) break;
+    result.scheme.columns[best->table] = *best;
+    current = best_cost;
+  }
+  result.final_cost = current;
+  return result;
+}
+
+}  // namespace isum::partition

@@ -1,0 +1,60 @@
+#ifndef ISUM_PARTITION_PARTITION_ADVISOR_H_
+#define ISUM_PARTITION_PARTITION_ADVISOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "advisor/advisor.h"
+
+namespace isum::partition {
+
+/// A horizontal partitioning scheme: at most one partitioning column per
+/// table. The second "other physical design structures" problem named in
+/// the paper's §10 (next to materialized views). A query whose sargable
+/// filter hits a table's partitioning column scans only the matching
+/// partitions: its scan cost for that table shrinks by the filter's
+/// selectivity (partition pruning), clamped below by one partition.
+struct PartitioningScheme {
+  /// table -> partitioning column (on that table).
+  std::unordered_map<catalog::TableId, catalog::ColumnId> columns;
+  /// Number of partitions per partitioned table.
+  int partitions_per_table = 64;
+};
+
+/// Cost of `query` under `scheme` (no indexes): the base plan cost with
+/// each pruned table's access discounted by the matched filter selectivity.
+double CostWithPartitioning(const sql::BoundQuery& query,
+                            const PartitioningScheme& scheme,
+                            const engine::CostModel& cost_model);
+
+struct PartitionTuningOptions {
+  /// Maximum number of tables that may be partitioned.
+  int max_partitioned_tables = 8;
+};
+
+struct PartitionTuningResult {
+  PartitioningScheme scheme;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+};
+
+/// Greedy partitioning advisor: each round picks the (table, column) pair
+/// with the maximum weighted cost improvement over the tuned queries.
+/// Candidate columns are the queries' sargable filter columns — exactly the
+/// features ISUM weighs, which is why compression transfers well here
+/// (bench_ext_partitioning), in contrast to view selection.
+class PartitionAdvisor {
+ public:
+  explicit PartitionAdvisor(const engine::CostModel* cost_model)
+      : cost_model_(cost_model) {}
+
+  PartitionTuningResult Tune(const std::vector<advisor::WeightedQuery>& queries,
+                             const PartitionTuningOptions& options = {}) const;
+
+ private:
+  const engine::CostModel* cost_model_;
+};
+
+}  // namespace isum::partition
+
+#endif  // ISUM_PARTITION_PARTITION_ADVISOR_H_

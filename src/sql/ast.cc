@@ -1,0 +1,89 @@
+#include "sql/ast.h"
+
+namespace isum::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kPlus:
+      return "+";
+    case BinaryOp::kMinus:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExpressionPtr LiteralExpression::Clone() const {
+  auto e = std::make_unique<LiteralExpression>();
+  e->kind_ = kind_;
+  e->number_ = number_;
+  e->string_ = string_;
+  return e;
+}
+
+ExpressionPtr InExpression::Clone() const {
+  std::vector<ExpressionPtr> values;
+  values.reserve(values_.size());
+  for (const auto& v : values_) values.push_back(v->Clone());
+  return std::make_unique<InExpression>(operand_->Clone(), std::move(values),
+                                        negated_);
+}
+
+ExpressionPtr FunctionCallExpression::Clone() const {
+  std::vector<ExpressionPtr> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) args.push_back(a->Clone());
+  return std::make_unique<FunctionCallExpression>(name_, std::move(args),
+                                                  distinct_);
+}
+
+SelectStatement SelectStatement::Clone() const {
+  SelectStatement out;
+  out.distinct = distinct;
+  out.select_list.reserve(select_list.size());
+  for (const auto& item : select_list) out.select_list.push_back(item.Clone());
+  out.from = from;
+  out.where = where ? where->Clone() : nullptr;
+  out.group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  out.having = having ? having->Clone() : nullptr;
+  out.order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out.order_by.push_back(o.Clone());
+  out.limit = limit;
+  return out;
+}
+
+}  // namespace isum::sql

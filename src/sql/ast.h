@@ -1,0 +1,390 @@
+#ifndef ISUM_SQL_AST_H_
+#define ISUM_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isum::sql {
+
+/// Expression node discriminator.
+enum class ExpressionKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnaryNot,
+  kIn,
+  kBetween,
+  kLike,
+  kFunctionCall,
+  kStar,
+  kIsNull,
+  kExists,      ///< [NOT] EXISTS (SELECT ...)
+  kInSubquery,  ///< expr [NOT] IN (SELECT ...)
+};
+
+/// Binary operators (boolean, comparison and arithmetic).
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNotEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kMul,
+  kDiv,
+};
+
+/// Returns the SQL spelling of `op` (e.g. "<=", "AND").
+const char* BinaryOpToString(BinaryOp op);
+/// True for =, <>, <, <=, >, >=.
+bool IsComparison(BinaryOp op);
+
+/// Base class for all expression nodes. Nodes are owned via unique_ptr and
+/// deep-copyable via Clone().
+class Expression {
+ public:
+  explicit Expression(ExpressionKind kind) : kind_(kind) {}
+  virtual ~Expression() = default;
+  Expression(const Expression&) = delete;
+  Expression& operator=(const Expression&) = delete;
+
+  ExpressionKind kind() const { return kind_; }
+  virtual std::unique_ptr<Expression> Clone() const = 0;
+
+ private:
+  ExpressionKind kind_;
+};
+
+using ExpressionPtr = std::unique_ptr<Expression>;
+
+/// A (possibly qualified) column reference, e.g. `l.l_orderkey` or `name`.
+class ColumnRefExpression : public Expression {
+ public:
+  ColumnRefExpression(std::string table, std::string column)
+      : Expression(ExpressionKind::kColumnRef),
+        table_(std::move(table)),
+        column_(std::move(column)) {}
+
+  /// Qualifier (alias or table name); empty when unqualified.
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<ColumnRefExpression>(table_, column_);
+  }
+
+ private:
+  std::string table_;
+  std::string column_;
+};
+
+/// Literal value kinds supported by the SQL subset.
+enum class LiteralKind { kNumber, kString, kNull };
+
+/// A numeric, string, or NULL literal.
+class LiteralExpression : public Expression {
+ public:
+  static std::unique_ptr<LiteralExpression> Number(double v) {
+    auto e = std::make_unique<LiteralExpression>();
+    e->kind_ = LiteralKind::kNumber;
+    e->number_ = v;
+    return e;
+  }
+  static std::unique_ptr<LiteralExpression> String(std::string v) {
+    auto e = std::make_unique<LiteralExpression>();
+    e->kind_ = LiteralKind::kString;
+    e->string_ = std::move(v);
+    return e;
+  }
+  static std::unique_ptr<LiteralExpression> Null() {
+    auto e = std::make_unique<LiteralExpression>();
+    e->kind_ = LiteralKind::kNull;
+    return e;
+  }
+
+  LiteralExpression() : Expression(ExpressionKind::kLiteral) {}
+
+  LiteralKind literal_kind() const { return kind_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  ExpressionPtr Clone() const override;
+
+ private:
+  LiteralKind kind_ = LiteralKind::kNull;
+  double number_ = 0.0;
+  std::string string_;
+};
+
+/// `lhs op rhs` for boolean, comparison and arithmetic operators.
+class BinaryExpression : public Expression {
+ public:
+  BinaryExpression(BinaryOp op, ExpressionPtr lhs, ExpressionPtr rhs)
+      : Expression(ExpressionKind::kBinary),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  BinaryOp op() const { return op_; }
+  const Expression& lhs() const { return *lhs_; }
+  const Expression& rhs() const { return *rhs_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<BinaryExpression>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+ private:
+  BinaryOp op_;
+  ExpressionPtr lhs_;
+  ExpressionPtr rhs_;
+};
+
+/// `NOT child`.
+class UnaryNotExpression : public Expression {
+ public:
+  explicit UnaryNotExpression(ExpressionPtr child)
+      : Expression(ExpressionKind::kUnaryNot), child_(std::move(child)) {}
+
+  const Expression& child() const { return *child_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<UnaryNotExpression>(child_->Clone());
+  }
+
+ private:
+  ExpressionPtr child_;
+};
+
+/// `expr [NOT] IN (v1, v2, ...)`.
+class InExpression : public Expression {
+ public:
+  InExpression(ExpressionPtr operand, std::vector<ExpressionPtr> values,
+               bool negated)
+      : Expression(ExpressionKind::kIn),
+        operand_(std::move(operand)),
+        values_(std::move(values)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const std::vector<ExpressionPtr>& values() const { return values_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override;
+
+ private:
+  ExpressionPtr operand_;
+  std::vector<ExpressionPtr> values_;
+  bool negated_;
+};
+
+/// `expr [NOT] BETWEEN lo AND hi`.
+class BetweenExpression : public Expression {
+ public:
+  BetweenExpression(ExpressionPtr operand, ExpressionPtr lo, ExpressionPtr hi,
+                    bool negated)
+      : Expression(ExpressionKind::kBetween),
+        operand_(std::move(operand)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const Expression& lo() const { return *lo_; }
+  const Expression& hi() const { return *hi_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<BetweenExpression>(operand_->Clone(), lo_->Clone(),
+                                               hi_->Clone(), negated_);
+  }
+
+ private:
+  ExpressionPtr operand_;
+  ExpressionPtr lo_;
+  ExpressionPtr hi_;
+  bool negated_;
+};
+
+/// `expr [NOT] LIKE 'pattern'`.
+class LikeExpression : public Expression {
+ public:
+  LikeExpression(ExpressionPtr operand, std::string pattern, bool negated)
+      : Expression(ExpressionKind::kLike),
+        operand_(std::move(operand)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<LikeExpression>(operand_->Clone(), pattern_, negated_);
+  }
+
+ private:
+  ExpressionPtr operand_;
+  std::string pattern_;
+  bool negated_;
+};
+
+/// `expr IS [NOT] NULL`.
+class IsNullExpression : public Expression {
+ public:
+  IsNullExpression(ExpressionPtr operand, bool negated)
+      : Expression(ExpressionKind::kIsNull),
+        operand_(std::move(operand)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<IsNullExpression>(operand_->Clone(), negated_);
+  }
+
+ private:
+  ExpressionPtr operand_;
+  bool negated_;
+};
+
+/// `*` in a select list or inside COUNT(*).
+class StarExpression : public Expression {
+ public:
+  StarExpression() : Expression(ExpressionKind::kStar) {}
+  ExpressionPtr Clone() const override {
+    return std::make_unique<StarExpression>();
+  }
+};
+
+/// Function (aggregate) call, e.g. SUM(l_extendedprice * (1 - l_discount)).
+class FunctionCallExpression : public Expression {
+ public:
+  FunctionCallExpression(std::string name, std::vector<ExpressionPtr> args,
+                         bool distinct)
+      : Expression(ExpressionKind::kFunctionCall),
+        name_(std::move(name)),
+        args_(std::move(args)),
+        distinct_(distinct) {}
+
+  /// Upper-cased function name (COUNT/SUM/AVG/MIN/MAX/...).
+  const std::string& name() const { return name_; }
+  const std::vector<ExpressionPtr>& args() const { return args_; }
+  bool distinct() const { return distinct_; }
+
+  ExpressionPtr Clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExpressionPtr> args_;
+  bool distinct_;
+};
+
+/// One item of the select list: expression plus optional alias.
+struct SelectItem {
+  ExpressionPtr expr;
+  std::string alias;
+
+  SelectItem Clone() const { return SelectItem{expr->Clone(), alias}; }
+};
+
+/// One base-table reference in the FROM clause.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< empty when unaliased
+
+  /// Name that qualifies columns for this reference.
+  const std::string& effective_name() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// One ORDER BY item.
+struct OrderByItem {
+  ExpressionPtr expr;
+  bool descending = false;
+
+  OrderByItem Clone() const { return OrderByItem{expr->Clone(), descending}; }
+};
+
+/// A single-block SELECT statement. Explicit `JOIN ... ON` syntax is
+/// normalized at parse time into the FROM list plus WHERE conjuncts, which is
+/// lossless for the query shapes ISUM targets (single-block SPJ + aggregation).
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  ExpressionPtr where;  ///< may be null
+  std::vector<ExpressionPtr> group_by;
+  ExpressionPtr having;  ///< may be null
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  SelectStatement() = default;
+  SelectStatement(SelectStatement&&) = default;
+  SelectStatement& operator=(SelectStatement&&) = default;
+
+  SelectStatement Clone() const;
+};
+
+/// `[NOT] EXISTS (SELECT ...)`. The binder flattens these into semi/anti
+/// joins (see Binder); they never reach the optimizer directly.
+class ExistsExpression : public Expression {
+ public:
+  ExistsExpression(std::unique_ptr<SelectStatement> subquery, bool negated)
+      : Expression(ExpressionKind::kExists),
+        subquery_(std::move(subquery)),
+        negated_(negated) {}
+
+  const SelectStatement& subquery() const { return *subquery_; }
+  SelectStatement& mutable_subquery() { return *subquery_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<ExistsExpression>(
+        std::make_unique<SelectStatement>(subquery_->Clone()), negated_);
+  }
+
+ private:
+  std::unique_ptr<SelectStatement> subquery_;
+  bool negated_;
+};
+
+/// `expr [NOT] IN (SELECT col FROM ...)`. Flattened like EXISTS, with the
+/// additional equality between the operand and the subquery's select item.
+class InSubqueryExpression : public Expression {
+ public:
+  InSubqueryExpression(ExpressionPtr operand,
+                       std::unique_ptr<SelectStatement> subquery, bool negated)
+      : Expression(ExpressionKind::kInSubquery),
+        operand_(std::move(operand)),
+        subquery_(std::move(subquery)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const SelectStatement& subquery() const { return *subquery_; }
+  SelectStatement& mutable_subquery() { return *subquery_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<InSubqueryExpression>(
+        operand_->Clone(),
+        std::make_unique<SelectStatement>(subquery_->Clone()), negated_);
+  }
+
+ private:
+  ExpressionPtr operand_;
+  std::unique_ptr<SelectStatement> subquery_;
+  bool negated_;
+};
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_AST_H_

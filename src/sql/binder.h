@@ -1,0 +1,42 @@
+#ifndef ISUM_SQL_BINDER_H_
+#define ISUM_SQL_BINDER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/bound_query.h"
+#include "stats/stats_manager.h"
+
+namespace isum::sql {
+
+/// Resolves names in a parsed statement against a catalog, classifies WHERE
+/// conjuncts into sargable filters / equi-joins / complex residuals, encodes
+/// literals, and estimates per-predicate selectivities from statistics.
+class Binder {
+ public:
+  /// `stats` may outlive the binder; both pointers must be non-null.
+  Binder(const catalog::Catalog* catalog, const stats::StatsManager* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  /// Binds `stmt`. `sql_text` is stored on the result for reporting.
+  StatusOr<BoundQuery> Bind(const SelectStatement& stmt,
+                            std::string sql_text = "") const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  const stats::StatsManager* stats_;
+};
+
+/// Encodes a literal to the numeric domain used by statistics: numbers pass
+/// through, ISO dates (YYYY-MM-DD) become days since 1970-01-01, other
+/// strings hash to a stable value.
+double EncodeLiteral(const LiteralExpression& lit);
+
+/// Days since 1970-01-01 for an ISO date string; nullopt if not a date.
+std::optional<double> ParseIsoDate(const std::string& text);
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_BINDER_H_

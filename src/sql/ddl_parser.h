@@ -1,0 +1,29 @@
+#ifndef ISUM_SQL_DDL_PARSER_H_
+#define ISUM_SQL_DDL_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace isum::sql {
+
+/// Parses a schema script of CREATE TABLE statements into `catalog`:
+///
+///   CREATE TABLE orders (
+///     o_orderkey INT PRIMARY KEY,
+///     o_custkey  INT,
+///     o_comment  VARCHAR(79)
+///   ) WITH (ROWS = 15000000);
+///
+/// Supported types: INT/INTEGER, BIGINT, DOUBLE/FLOAT/REAL, DECIMAL/NUMERIC
+/// (precision/scale accepted and ignored), VARCHAR(n)/CHAR(n)/TEXT, DATE,
+/// BOOL/BOOLEAN. `PRIMARY KEY` marks a key column. The WITH (ROWS = n)
+/// clause sets the table cardinality (default 1000). `--` comments allowed.
+///
+/// Returns the number of tables created.
+StatusOr<int> ParseSchema(std::string_view ddl, catalog::Catalog* catalog);
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_DDL_PARSER_H_

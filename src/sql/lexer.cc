@@ -1,0 +1,134 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace isum::sql {
+
+bool Token::Is(std::string_view spelling) const {
+  if (type == TokenType::kNumber || type == TokenType::kString ||
+      type == TokenType::kEnd) {
+    return false;
+  }
+  return EqualsIgnoreCase(text, spelling);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- ... \n
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (j < n) {
+        const char d = sql[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          // `1.` followed by an identifier char would be table.column on a
+          // numeric alias — not legal here, so consume greedily.
+          seen_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && j + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[j + 1])) ||
+                    ((sql[j + 1] == '+' || sql[j + 1] == '-') && j + 2 < n &&
+                     std::isdigit(static_cast<unsigned char>(sql[j + 2]))))) {
+          seen_exp = true;
+          j += 2;
+        } else {
+          break;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(sql.substr(i, j - i));
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value.push_back(sql[j]);
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-char symbols first.
+      auto two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(two == "!=" ? "<>" : two);
+        i += 2;
+      } else if (std::string_view("=<>+-*/,().;").find(c) !=
+                 std::string_view::npos) {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace isum::sql

@@ -1,0 +1,40 @@
+#ifndef ISUM_SQL_LEXER_H_
+#define ISUM_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace isum::sql {
+
+/// Token categories produced by the lexer. Keywords are recognized in the
+/// parser from kIdentifier tokens (case-insensitive), keeping the lexer small.
+enum class TokenType {
+  kIdentifier,
+  kNumber,
+  kString,
+  kSymbol,  ///< one of: = <> != < <= > >= + - * / , ( ) . ;
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    ///< identifier/symbol spelling or string contents
+  double number = 0.0; ///< valid when type == kNumber
+  size_t offset = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/symbol match.
+  bool Is(std::string_view spelling) const;
+};
+
+/// Tokenizes `sql`; returns ParseError on malformed input (unterminated
+/// string, bad character). The final token is always kEnd.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_LEXER_H_

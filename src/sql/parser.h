@@ -1,0 +1,23 @@
+#ifndef ISUM_SQL_PARSER_H_
+#define ISUM_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace isum::sql {
+
+/// Parses one single-block SELECT statement from `sql`.
+///
+/// Supported subset (sufficient for TPC-H/TPC-DS/DSB-shaped workloads):
+///   SELECT [DISTINCT] <exprs|*> FROM t [alias] {, t | [INNER|LEFT] JOIN t ON e}
+///   [WHERE e] [GROUP BY cols] [HAVING e] [ORDER BY cols [ASC|DESC]] [LIMIT n]
+/// with AND/OR/NOT, comparisons, arithmetic, IN, BETWEEN, LIKE, IS NULL and
+/// aggregate calls. Explicit JOIN ... ON is normalized into the FROM list
+/// plus WHERE conjuncts.
+StatusOr<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_PARSER_H_

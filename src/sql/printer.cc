@@ -1,0 +1,155 @@
+#include "sql/printer.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace isum::sql {
+
+namespace {
+
+std::string FormatNumber(double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%g", v);
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string ExpressionToSql(const Expression& expr) {
+  switch (expr.kind()) {
+    case ExpressionKind::kColumnRef: {
+      const auto& e = static_cast<const ColumnRefExpression&>(expr);
+      return e.table().empty() ? e.column() : e.table() + "." + e.column();
+    }
+    case ExpressionKind::kLiteral: {
+      const auto& e = static_cast<const LiteralExpression&>(expr);
+      switch (e.literal_kind()) {
+        case LiteralKind::kNumber:
+          return FormatNumber(e.number());
+        case LiteralKind::kString:
+          return QuoteString(e.string_value());
+        case LiteralKind::kNull:
+          return "NULL";
+      }
+      return "NULL";
+    }
+    case ExpressionKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpression&>(expr);
+      return "(" + ExpressionToSql(e.lhs()) + " " + BinaryOpToString(e.op()) +
+             " " + ExpressionToSql(e.rhs()) + ")";
+    }
+    case ExpressionKind::kUnaryNot: {
+      const auto& e = static_cast<const UnaryNotExpression&>(expr);
+      return "NOT (" + ExpressionToSql(e.child()) + ")";
+    }
+    case ExpressionKind::kIn: {
+      const auto& e = static_cast<const InExpression&>(expr);
+      std::string out = ExpressionToSql(e.operand());
+      out += e.negated() ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < e.values().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExpressionToSql(*e.values()[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case ExpressionKind::kBetween: {
+      const auto& e = static_cast<const BetweenExpression&>(expr);
+      return ExpressionToSql(e.operand()) +
+             (e.negated() ? " NOT BETWEEN " : " BETWEEN ") +
+             ExpressionToSql(e.lo()) + " AND " + ExpressionToSql(e.hi());
+    }
+    case ExpressionKind::kLike: {
+      const auto& e = static_cast<const LikeExpression&>(expr);
+      return ExpressionToSql(e.operand()) +
+             (e.negated() ? " NOT LIKE " : " LIKE ") + QuoteString(e.pattern());
+    }
+    case ExpressionKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpression&>(expr);
+      return ExpressionToSql(e.operand()) +
+             (e.negated() ? " IS NOT NULL" : " IS NULL");
+    }
+    case ExpressionKind::kStar:
+      return "*";
+    case ExpressionKind::kExists: {
+      const auto& e = static_cast<const ExistsExpression&>(expr);
+      return std::string(e.negated() ? "NOT " : "") + "EXISTS (" +
+             StatementToSql(e.subquery()) + ")";
+    }
+    case ExpressionKind::kInSubquery: {
+      const auto& e = static_cast<const InSubqueryExpression&>(expr);
+      return ExpressionToSql(e.operand()) +
+             (e.negated() ? " NOT IN (" : " IN (") +
+             StatementToSql(e.subquery()) + ")";
+    }
+    case ExpressionKind::kFunctionCall: {
+      const auto& e = static_cast<const FunctionCallExpression&>(expr);
+      std::string out = e.name() + "(";
+      if (e.distinct()) out += "DISTINCT ";
+      for (size_t i = 0; i < e.args().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExpressionToSql(*e.args()[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string StatementToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  if (stmt.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ExpressionToSql(*stmt.select_list[i].expr);
+    if (!stmt.select_list[i].alias.empty()) {
+      out += " AS " + stmt.select_list[i].alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.from[i].table_name;
+    if (!stmt.from[i].alias.empty()) out += " " + stmt.from[i].alias;
+  }
+  if (stmt.where != nullptr) {
+    out += " WHERE " + ExpressionToSql(*stmt.where);
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExpressionToSql(*stmt.group_by[i]);
+    }
+  }
+  if (stmt.having != nullptr) {
+    out += " HAVING " + ExpressionToSql(*stmt.having);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExpressionToSql(*stmt.order_by[i].expr);
+      if (stmt.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    out += StrFormat(" LIMIT %lld", static_cast<long long>(*stmt.limit));
+  }
+  return out;
+}
+
+}  // namespace isum::sql

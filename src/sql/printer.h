@@ -1,0 +1,19 @@
+#ifndef ISUM_SQL_PRINTER_H_
+#define ISUM_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace isum::sql {
+
+/// Renders an expression back to SQL text.
+std::string ExpressionToSql(const Expression& expr);
+
+/// Renders a statement back to SQL text. Round-trips through ParseSelect up
+/// to whitespace and literal formatting (verified by tests).
+std::string StatementToSql(const SelectStatement& stmt);
+
+}  // namespace isum::sql
+
+#endif  // ISUM_SQL_PRINTER_H_

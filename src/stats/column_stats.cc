@@ -1,0 +1,37 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isum::stats {
+
+double ColumnStats::Density() const {
+  if (distinct_count <= 1.0) return 1.0;
+  return std::clamp(1.0 / distinct_count, 1e-12, 1.0);
+}
+
+double ColumnStats::SelectivityEquals(double v) const {
+  if (!histogram.empty()) {
+    const double sel = histogram.SelectivityEquals(v);
+    if (sel > 0.0) return sel;
+  }
+  return Density();
+}
+
+double ColumnStats::SelectivityRange(std::optional<double> lo,
+                                     std::optional<double> hi) const {
+  if (!histogram.empty()) return histogram.SelectivityRange(lo, hi);
+  // Uniform-domain fallback.
+  const double span = max_value - min_value;
+  if (span <= 0.0) return 1.0;
+  const double l = lo.value_or(min_value);
+  const double h = hi.value_or(max_value);
+  return std::clamp((h - l) / span, 0.0, 1.0);
+}
+
+double ColumnStats::ValueAtQuantile(double q) const {
+  if (!histogram.empty()) return histogram.ValueAtQuantile(q);
+  return min_value + (max_value - min_value) * std::clamp(q, 0.0, 1.0);
+}
+
+}  // namespace isum::stats

@@ -1,0 +1,37 @@
+#ifndef ISUM_STATS_COLUMN_STATS_H_
+#define ISUM_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+
+#include "stats/histogram.h"
+
+namespace isum::stats {
+
+/// Per-column statistics: distinct count, null fraction, domain bounds and an
+/// equi-depth histogram. `density` (1 / distinct) matches the SQL Server
+/// notion referenced by the paper's stats-based column weighting (§4.2).
+struct ColumnStats {
+  double row_count = 0.0;
+  double distinct_count = 1.0;
+  double null_fraction = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  Histogram histogram;
+
+  /// 1 / distinct-count, clamped into (0, 1].
+  double Density() const;
+
+  /// Fraction of rows equal to `v` (histogram if present, else 1/distinct).
+  double SelectivityEquals(double v) const;
+
+  /// Fraction of rows in [lo, hi] (either side optional).
+  double SelectivityRange(std::optional<double> lo,
+                          std::optional<double> hi) const;
+
+  /// Value at quantile q of the distribution (for literal synthesis).
+  double ValueAtQuantile(double q) const;
+};
+
+}  // namespace isum::stats
+
+#endif  // ISUM_STATS_COLUMN_STATS_H_

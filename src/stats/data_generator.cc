@@ -1,0 +1,103 @@
+#include "stats/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace isum::stats {
+
+ColumnStats DataGenerator::Generate(const ColumnDataSpec& spec,
+                                    uint64_t row_count, Rng& rng) const {
+  ColumnStats out;
+  out.row_count = static_cast<double>(row_count);
+  out.null_fraction = spec.null_fraction;
+
+  if (spec.distribution == Distribution::kKey) {
+    // Dense unique keys: exact analytic stats, no sampling needed.
+    out.distinct_count = static_cast<double>(std::max<uint64_t>(1, row_count));
+    out.min_value = 1.0;
+    out.max_value = static_cast<double>(row_count);
+    std::vector<double> sample;
+    const int n = std::min<int>(sample_size_, static_cast<int>(row_count));
+    sample.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      sample.push_back(1.0 + (static_cast<double>(row_count - 1) * i) /
+                                 std::max(1, n - 1));
+    }
+    out.histogram = Histogram::FromSample(std::move(sample), num_buckets_,
+                                          out.row_count);
+    return out;
+  }
+
+  const uint64_t distinct = std::max<uint64_t>(1, std::min(spec.distinct, row_count));
+  const double span = spec.domain_max - spec.domain_min;
+
+  // Map distinct-value rank r in [1, distinct] to a domain point.
+  auto rank_to_value = [&](uint64_t r) {
+    const double frac = distinct > 1
+                            ? static_cast<double>(r - 1) / static_cast<double>(distinct - 1)
+                            : 0.0;
+    return spec.domain_min + span * frac;
+  };
+
+  std::vector<double> sample;
+  const int n = std::max(16, sample_size_);
+  sample.reserve(n);
+  switch (spec.distribution) {
+    case Distribution::kUniform: {
+      for (int i = 0; i < n; ++i) {
+        sample.push_back(rank_to_value(1 + rng.NextUint64(distinct)));
+      }
+      break;
+    }
+    case Distribution::kZipf: {
+      ZipfSampler zipf(distinct, spec.zipf_skew);
+      // Shuffle ranks into domain positions deterministically so the hot
+      // values are not always the domain minimum.
+      for (int i = 0; i < n; ++i) {
+        uint64_t rank = zipf.Sample(rng);
+        uint64_t scrambled = (rank * 0x9E3779B97F4A7C15ull) % distinct;
+        sample.push_back(rank_to_value(1 + scrambled));
+      }
+      break;
+    }
+    case Distribution::kGaussian: {
+      const double mid = spec.domain_min + span / 2.0;
+      const double sd = span / 6.0;
+      for (int i = 0; i < n; ++i) {
+        double v = rng.NextGaussian(mid, sd);
+        v = std::clamp(v, spec.domain_min, spec.domain_max);
+        // Snap to the distinct-value grid.
+        if (distinct > 1 && span > 0.0) {
+          const double step = span / static_cast<double>(distinct - 1);
+          v = spec.domain_min + std::round((v - spec.domain_min) / step) * step;
+        }
+        sample.push_back(v);
+      }
+      break;
+    }
+    case Distribution::kKey:
+      break;  // handled above
+  }
+
+  // Distinct-count estimate: exact count of distinct sample values scaled by
+  // a first-order Good–Turing style correction, capped by the spec.
+  std::vector<double> uniq = sample;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const double d_sample = static_cast<double>(uniq.size());
+  double d_est = d_sample;
+  if (d_sample > 0.9 * n) {
+    // Sample saturated: likely many more distincts than the sample shows.
+    d_est = std::min<double>(static_cast<double>(distinct),
+                             d_sample * (out.row_count / n));
+  }
+  out.distinct_count = std::max(1.0, std::min<double>(d_est, static_cast<double>(distinct)));
+  out.min_value = uniq.empty() ? spec.domain_min : uniq.front();
+  out.max_value = uniq.empty() ? spec.domain_max : uniq.back();
+  out.histogram =
+      Histogram::FromSample(std::move(sample), num_buckets_, out.row_count);
+  return out;
+}
+
+}  // namespace isum::stats

@@ -1,0 +1,54 @@
+#ifndef ISUM_STATS_DATA_GENERATOR_H_
+#define ISUM_STATS_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stats/column_stats.h"
+
+namespace isum::stats {
+
+/// Shape of a synthetic column's value distribution.
+enum class Distribution {
+  kUniform,
+  kZipf,      ///< heavy head skew (DSB / Real-M style data)
+  kGaussian,  ///< bell around the domain midpoint
+  kKey,       ///< dense unique integers 1..row_count
+};
+
+/// Declarative description of one column's synthetic data.
+struct ColumnDataSpec {
+  Distribution distribution = Distribution::kUniform;
+  /// Number of distinct values; ignored for kKey (== row_count).
+  uint64_t distinct = 1000;
+  /// Domain lower/upper bounds for generated values.
+  double domain_min = 0.0;
+  double domain_max = 1'000'000.0;
+  /// Zipf exponent when distribution == kZipf.
+  double zipf_skew = 1.1;
+  double null_fraction = 0.0;
+};
+
+/// Builds ColumnStats by *sampling* the described distribution and feeding
+/// the sample through the same histogram-construction path a DBMS would use.
+/// This keeps the statistics pipeline honest: selectivity/density numbers are
+/// estimated from data, not postulated.
+class DataGenerator {
+ public:
+  /// `sample_size` values are drawn; histograms get `num_buckets` buckets.
+  explicit DataGenerator(int sample_size = 4096, int num_buckets = 64)
+      : sample_size_(sample_size), num_buckets_(num_buckets) {}
+
+  /// Synthesizes stats for a column of `row_count` rows per `spec`, drawing
+  /// randomness from `rng`.
+  ColumnStats Generate(const ColumnDataSpec& spec, uint64_t row_count,
+                       Rng& rng) const;
+
+ private:
+  int sample_size_;
+  int num_buckets_;
+};
+
+}  // namespace isum::stats
+
+#endif  // ISUM_STATS_DATA_GENERATOR_H_

@@ -1,0 +1,108 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace isum::stats {
+
+Histogram Histogram::FromSample(std::vector<double> sample, int num_buckets,
+                                double total_rows) {
+  Histogram h;
+  h.total_rows_ = total_rows;
+  if (sample.empty() || num_buckets <= 0 || total_rows <= 0.0) return h;
+  std::sort(sample.begin(), sample.end());
+
+  const size_t n = sample.size();
+  const size_t per_bucket = std::max<size_t>(1, n / static_cast<size_t>(num_buckets));
+  const double scale = total_rows / static_cast<double>(n);
+
+  size_t i = 0;
+  double prev_upper = sample.front();
+  bool first = true;
+  while (i < n) {
+    size_t j = std::min(n, i + per_bucket);
+    // Extend the bucket so equal values never straddle a boundary.
+    while (j < n && sample[j] == sample[j - 1]) ++j;
+    HistogramBucket b;
+    b.lower = first ? sample[i] - 1.0 : prev_upper;
+    b.upper = sample[j - 1];
+    b.rows = static_cast<double>(j - i) * scale;
+    double distinct = 1.0;
+    for (size_t t = i + 1; t < j; ++t) {
+      if (sample[t] != sample[t - 1]) distinct += 1.0;
+    }
+    b.distinct = distinct;
+    h.buckets_.push_back(b);
+    prev_upper = b.upper;
+    i = j;
+    first = false;
+  }
+  return h;
+}
+
+double Histogram::min_value() const {
+  return buckets_.empty() ? 0.0 : buckets_.front().lower;
+}
+
+double Histogram::max_value() const {
+  return buckets_.empty() ? 0.0 : buckets_.back().upper;
+}
+
+double Histogram::SelectivityEquals(double v) const {
+  if (buckets_.empty() || total_rows_ <= 0.0) return 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > b.lower && v <= b.upper) {
+      return (b.rows / std::max(1.0, b.distinct)) / total_rows_;
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::RowsBelowInclusive(double v) const {
+  double rows = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > b.upper) {
+      rows += b.rows;
+    } else if (v > b.lower) {
+      const double width = b.upper - b.lower;
+      const double frac = width > 0.0 ? (v - b.lower) / width : 1.0;
+      rows += b.rows * frac;
+      break;
+    } else {
+      break;
+    }
+  }
+  return rows;
+}
+
+double Histogram::SelectivityRange(std::optional<double> lo,
+                                   std::optional<double> hi) const {
+  if (buckets_.empty() || total_rows_ <= 0.0) return 1.0;
+  const double hi_rows = hi.has_value() ? RowsBelowInclusive(*hi) : total_rows_;
+  // Exclusive lower: rows strictly below lo (approximated by inclusive minus
+  // one equality slice is overkill for costing; inclusive is fine here).
+  const double lo_rows = lo.has_value() ? RowsBelowInclusive(*lo) : 0.0;
+  double sel = (hi_rows - lo_rows) / total_rows_;
+  if (lo.has_value()) sel += SelectivityEquals(*lo);  // inclusive lower bound
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double Histogram::ValueAtQuantile(double q) const {
+  if (buckets_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_rows_;
+  double seen = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (seen + b.rows >= target) {
+      // A single-distinct bucket holds exactly one value: its upper bound.
+      if (b.distinct <= 1.0) return b.upper;
+      const double frac = b.rows > 0.0 ? (target - seen) / b.rows : 1.0;
+      return b.lower + (b.upper - b.lower) * frac;
+    }
+    seen += b.rows;
+  }
+  return buckets_.back().upper;
+}
+
+}  // namespace isum::stats

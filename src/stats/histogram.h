@@ -1,0 +1,59 @@
+#ifndef ISUM_STATS_HISTOGRAM_H_
+#define ISUM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace isum::stats {
+
+/// One equi-depth bucket: values in (lower, upper] with `rows` rows spread
+/// over `distinct` distinct values.
+struct HistogramBucket {
+  double lower = 0.0;
+  double upper = 0.0;
+  double rows = 0.0;
+  double distinct = 1.0;
+};
+
+/// Equi-depth histogram over a numeric column domain, built from a sample.
+/// Mirrors what DBMSs maintain (SQL Server `STATISTICS`, PostgreSQL
+/// pg_statistic) closely enough for selectivity and density estimation, which
+/// is all the paper's stats-based variant (ISUM-S) consumes.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds `num_buckets` equi-depth buckets from `sample` (unsorted ok),
+  /// scaled so bucket row counts sum to `total_rows`.
+  static Histogram FromSample(std::vector<double> sample, int num_buckets,
+                              double total_rows);
+
+  /// Fraction of rows with value == v (uses per-bucket distinct counts).
+  double SelectivityEquals(double v) const;
+
+  /// Fraction of rows with value in the given (optional) bounds;
+  /// std::nullopt means unbounded on that side. Bounds are inclusive.
+  double SelectivityRange(std::optional<double> lo,
+                          std::optional<double> hi) const;
+
+  /// Smallest value v such that ~fraction q of rows are <= v. Used by the
+  /// workload generators to pick literals that hit a target selectivity.
+  double ValueAtQuantile(double q) const;
+
+  bool empty() const { return buckets_.empty(); }
+  double total_rows() const { return total_rows_; }
+  double min_value() const;
+  double max_value() const;
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+
+ private:
+  double RowsBelowInclusive(double v) const;
+
+  std::vector<HistogramBucket> buckets_;
+  double total_rows_ = 0.0;
+};
+
+}  // namespace isum::stats
+
+#endif  // ISUM_STATS_HISTOGRAM_H_

@@ -1,0 +1,64 @@
+#include "stats/stats_loader.h"
+
+#include "common/jsonl.h"
+#include "common/string_util.h"
+
+namespace isum::stats {
+
+StatusOr<int> LoadColumnStats(const std::string& jsonl,
+                              const catalog::Catalog& catalog,
+                              StatsManager* stats, uint64_t seed) {
+  DataGenerator generator;
+  Rng rng(seed);
+  int loaded = 0;
+  for (const std::string& line : Split(jsonl, '\n')) {
+    if (Trim(line).empty()) continue;
+    ISUM_ASSIGN_OR_RETURN(std::string table, JsonExtractString(line, "table"));
+    ISUM_ASSIGN_OR_RETURN(std::string column,
+                          JsonExtractString(line, "column"));
+    const catalog::ColumnId id = catalog.ResolveColumn(table, column);
+    if (!id.valid()) {
+      return Status::NotFound("unknown column '" + table + "." + column + "'");
+    }
+
+    ColumnDataSpec spec;
+    ISUM_ASSIGN_OR_RETURN(double distinct, JsonExtractNumber(line, "distinct"));
+    spec.distinct = static_cast<uint64_t>(std::max(1.0, distinct));
+    ISUM_ASSIGN_OR_RETURN(spec.domain_min, JsonExtractNumber(line, "min"));
+    ISUM_ASSIGN_OR_RETURN(spec.domain_max, JsonExtractNumber(line, "max"));
+    if (spec.domain_max < spec.domain_min) {
+      return Status::InvalidArgument("min > max for '" + table + "." + column +
+                                     "'");
+    }
+    if (JsonHasKey(line, "distribution")) {
+      ISUM_ASSIGN_OR_RETURN(std::string dist,
+                            JsonExtractString(line, "distribution"));
+      const std::string lower = ToLower(dist);
+      if (lower == "uniform") {
+        spec.distribution = Distribution::kUniform;
+      } else if (lower == "zipf") {
+        spec.distribution = Distribution::kZipf;
+      } else if (lower == "gaussian" || lower == "normal") {
+        spec.distribution = Distribution::kGaussian;
+      } else {
+        return Status::InvalidArgument("unknown distribution '" + dist + "'");
+      }
+    }
+    if (JsonHasKey(line, "skew")) {
+      ISUM_ASSIGN_OR_RETURN(spec.zipf_skew, JsonExtractNumber(line, "skew"));
+    }
+    if (JsonHasKey(line, "nulls")) {
+      ISUM_ASSIGN_OR_RETURN(spec.null_fraction,
+                            JsonExtractNumber(line, "nulls"));
+    }
+
+    Rng column_rng = rng.Fork(static_cast<uint64_t>(loaded) + 1);
+    stats->SetStats(id, generator.Generate(
+                            spec, catalog.table(id.table).row_count(),
+                            column_rng));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace isum::stats

@@ -1,0 +1,31 @@
+#ifndef ISUM_STATS_STATS_LOADER_H_
+#define ISUM_STATS_STATS_LOADER_H_
+
+#include <string>
+
+#include "stats/data_generator.h"
+#include "stats/stats_manager.h"
+
+namespace isum::stats {
+
+/// Loads per-column statistics specs from JSONL into a StatsManager,
+/// synthesizing histograms via DataGenerator — the CLI's path to realistic
+/// selectivities without access to the data. One object per line:
+///
+///   {"table": "orders", "column": "order_date", "distinct": 2406,
+///    "min": 8035, "max": 10591,
+///    "distribution": "uniform",        // uniform|zipf|gaussian (default
+///                                      // uniform)
+///    "skew": 1.1,                      // zipf only, default 1.1
+///    "nulls": 0.0}                     // null fraction, default 0
+///
+/// Values are in the binder's encoded-double domain (dates =
+/// days-since-epoch). Returns the number of columns loaded; unknown
+/// tables/columns or malformed lines fail the whole load.
+StatusOr<int> LoadColumnStats(const std::string& jsonl,
+                              const catalog::Catalog& catalog,
+                              StatsManager* stats, uint64_t seed = 42);
+
+}  // namespace isum::stats
+
+#endif  // ISUM_STATS_STATS_LOADER_H_

@@ -1,0 +1,28 @@
+#include "stats/stats_manager.h"
+
+#include <algorithm>
+
+namespace isum::stats {
+
+const ColumnStats& StatsManager::GetStats(catalog::ColumnId id) const {
+  auto it = stats_.find(id);
+  if (it != stats_.end()) return it->second;
+
+  auto dit = defaults_.find(id);
+  if (dit != defaults_.end()) return dit->second;
+
+  // Synthesize conservative defaults from catalog metadata.
+  ColumnStats def;
+  const catalog::Table& t = catalog_->table(id.table);
+  def.row_count = static_cast<double>(t.row_count());
+  const catalog::Column& col = t.column(id.column);
+  def.distinct_count = col.is_key
+                           ? std::max(1.0, def.row_count)
+                           : std::max(1.0, def.row_count / 10.0);
+  def.min_value = 0.0;
+  def.max_value = std::max(1.0, def.distinct_count);
+  auto [ins, _] = defaults_.emplace(id, std::move(def));
+  return ins->second;
+}
+
+}  // namespace isum::stats

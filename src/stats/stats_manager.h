@@ -1,0 +1,65 @@
+#ifndef ISUM_STATS_STATS_MANAGER_H_
+#define ISUM_STATS_STATS_MANAGER_H_
+
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "stats/column_stats.h"
+
+namespace isum::stats {
+
+/// Registry of per-column statistics for a catalog, exposing the selectivity
+/// and density estimation API consumed by the engine's cost model and by
+/// ISUM-S (the stats-based weighting variant in §4.2 of the paper).
+class StatsManager {
+ public:
+  explicit StatsManager(const catalog::Catalog* cat) : catalog_(cat) {}
+
+  /// Registers (or replaces) statistics for a column.
+  void SetStats(catalog::ColumnId id, ColumnStats s) {
+    stats_[id] = std::move(s);
+  }
+
+  /// True if explicit stats were registered for the column.
+  bool HasStats(catalog::ColumnId id) const { return stats_.contains(id); }
+
+  /// Returns registered stats, or conservative defaults derived from the
+  /// catalog (uniform over the table's rows, distinct = rows for keys else
+  /// rows/10) when none were registered.
+  const ColumnStats& GetStats(catalog::ColumnId id) const;
+
+  /// Fraction of the table's rows matching `column = value`.
+  double SelectivityEquals(catalog::ColumnId id, double value) const {
+    return GetStats(id).SelectivityEquals(value);
+  }
+
+  /// Fraction of rows in the (optionally half-open) range.
+  double SelectivityRange(catalog::ColumnId id, std::optional<double> lo,
+                          std::optional<double> hi) const {
+    return GetStats(id).SelectivityRange(lo, hi);
+  }
+
+  /// 1 / distinct-count.
+  double Density(catalog::ColumnId id) const { return GetStats(id).Density(); }
+
+  double DistinctCount(catalog::ColumnId id) const {
+    return GetStats(id).distinct_count;
+  }
+
+  /// Value with ~fraction q of the column's rows at or below it.
+  double ValueAtQuantile(catalog::ColumnId id, double q) const {
+    return GetStats(id).ValueAtQuantile(q);
+  }
+
+  const catalog::Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  std::unordered_map<catalog::ColumnId, ColumnStats> stats_;
+  // Cache of synthesized defaults so GetStats can return references.
+  mutable std::unordered_map<catalog::ColumnId, ColumnStats> defaults_;
+};
+
+}  // namespace isum::stats
+
+#endif  // ISUM_STATS_STATS_MANAGER_H_

@@ -1,0 +1,235 @@
+#include "views/view.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "engine/optimizer.h"
+
+namespace isum::views {
+
+namespace {
+
+constexpr uint64_t kPageBytes = 8192;
+constexpr int32_t kRowOverheadBytes = 16;
+
+/// Canonical (lo, hi) column pair of an equi-join predicate.
+std::pair<catalog::ColumnId, catalog::ColumnId> CanonicalJoin(
+    const sql::JoinPredicate& jp) {
+  return jp.left < jp.right ? std::make_pair(jp.left, jp.right)
+                            : std::make_pair(jp.right, jp.left);
+}
+
+bool SameJoinSet(const std::vector<sql::JoinPredicate>& a,
+                 const std::vector<sql::JoinPredicate>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::pair<catalog::ColumnId, catalog::ColumnId>> ca, cb;
+  for (const auto& j : a) ca.push_back(CanonicalJoin(j));
+  for (const auto& j : b) cb.push_back(CanonicalJoin(j));
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  return ca == cb;
+}
+
+bool IsSubset(const std::vector<catalog::ColumnId>& subset,
+              const std::vector<catalog::ColumnId>& sorted_superset) {
+  for (catalog::ColumnId c : subset) {
+    if (!std::binary_search(sorted_superset.begin(), sorted_superset.end(), c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MaterializedView::MaterializedView(std::vector<catalog::TableId> tables,
+                                   std::vector<sql::JoinPredicate> joins,
+                                   std::vector<catalog::ColumnId> group_by,
+                                   std::vector<catalog::ColumnId> measures)
+    : tables_(std::move(tables)),
+      joins_(std::move(joins)),
+      group_by_(std::move(group_by)),
+      measures_(std::move(measures)) {
+  std::sort(tables_.begin(), tables_.end());
+  tables_.erase(std::unique(tables_.begin(), tables_.end()), tables_.end());
+  std::sort(joins_.begin(), joins_.end(),
+            [](const sql::JoinPredicate& a, const sql::JoinPredicate& b) {
+              return CanonicalJoin(a) < CanonicalJoin(b);
+            });
+  std::sort(group_by_.begin(), group_by_.end());
+  group_by_.erase(std::unique(group_by_.begin(), group_by_.end()),
+                  group_by_.end());
+  std::sort(measures_.begin(), measures_.end());
+  measures_.erase(std::unique(measures_.begin(), measures_.end()),
+                  measures_.end());
+}
+
+double MaterializedView::EstimatedRows(
+    const engine::CostModel& cost_model) const {
+  const catalog::Catalog& cat = cost_model.catalog();
+  double join_rows = 1.0;
+  for (catalog::TableId t : tables_) {
+    join_rows *= static_cast<double>(cat.table(t).row_count());
+  }
+  for (const sql::JoinPredicate& j : joins_) {
+    join_rows *= j.selectivity;
+  }
+  join_rows = std::max(1.0, join_rows);
+
+  double groups = 1.0;
+  for (catalog::ColumnId g : group_by_) {
+    groups *= std::max(1.0, cost_model.stats().DistinctCount(g));
+    if (groups > join_rows) break;
+  }
+  return std::clamp(groups, 1.0, join_rows);
+}
+
+uint64_t MaterializedView::SizeBytes(const engine::CostModel& cost_model) const {
+  const catalog::Catalog& cat = cost_model.catalog();
+  int32_t width = kRowOverheadBytes;
+  for (catalog::ColumnId c : group_by_) width += cat.column(c).width_bytes;
+  for (catalog::ColumnId c : measures_) width += cat.column(c).width_bytes;
+  return static_cast<uint64_t>(EstimatedRows(cost_model)) *
+         static_cast<uint64_t>(width);
+}
+
+bool MaterializedView::Matches(const sql::BoundQuery& query) const {
+  // Inner-join single-block queries only.
+  std::vector<catalog::TableId> query_tables;
+  for (const auto& ref : query.tables) {
+    if (ref.semantics != sql::JoinSemantics::kInner) return false;
+    query_tables.push_back(ref.table);
+  }
+  std::sort(query_tables.begin(), query_tables.end());
+  query_tables.erase(std::unique(query_tables.begin(), query_tables.end()),
+                     query_tables.end());
+  if (query_tables != tables_) return false;
+  if (!SameJoinSet(query.joins, joins_)) return false;
+  if (!query.complex_predicates.empty()) return false;
+  if (query.select_star) return false;
+
+  // Filters must apply at group level.
+  std::vector<catalog::ColumnId> filter_cols;
+  for (const auto& f : query.filters) filter_cols.push_back(f.column);
+  if (!IsSubset(filter_cols, group_by_)) return false;
+  if (!IsSubset(query.group_by_columns, group_by_)) return false;
+
+  // Outputs and order-by columns must survive in the view.
+  std::vector<catalog::ColumnId> stored = group_by_;
+  stored.insert(stored.end(), measures_.begin(), measures_.end());
+  std::sort(stored.begin(), stored.end());
+  if (!IsSubset(query.output_columns, stored)) return false;
+  for (const auto& [col, desc] : query.order_by_columns) {
+    if (!std::binary_search(stored.begin(), stored.end(), col)) return false;
+  }
+  // Aggregate arguments must be stored measures.
+  for (const auto& agg : query.aggregates) {
+    if (agg.argument.valid() &&
+        !std::binary_search(measures_.begin(), measures_.end(),
+                            agg.argument)) {
+      return false;
+    }
+    if (agg.distinct) return false;  // DISTINCT aggs don't re-aggregate
+  }
+  return true;
+}
+
+double MaterializedView::AnswerCost(const sql::BoundQuery& query,
+                                    const engine::CostModel& cost_model) const {
+  const engine::CostParams& p = cost_model.params();
+  const double rows = EstimatedRows(cost_model);
+  const double pages =
+      static_cast<double>(SizeBytes(cost_model)) / kPageBytes + 1.0;
+
+  // Scan the view, apply the query's filters at group granularity.
+  double cost = pages * p.seq_page_cost + rows * p.cpu_tuple_cost;
+  double sel = 1.0;
+  for (const auto& f : query.filters) {
+    cost += rows * p.cpu_operator_cost;
+    sel *= f.selectivity;
+  }
+  double out = std::max(1.0, rows * sel);
+
+  // Re-aggregate if the query groups coarser than the view.
+  const bool has_agg =
+      !query.aggregates.empty() || !query.group_by_columns.empty();
+  if (has_agg && query.group_by_columns.size() < group_by_.size()) {
+    double groups = 1.0;
+    for (catalog::ColumnId g : query.group_by_columns) {
+      groups *= std::max(1.0, cost_model.stats().DistinctCount(g));
+      if (groups > out) break;
+    }
+    groups = std::clamp(groups, 1.0, out);
+    cost += cost_model.HashAggCost(out, groups);
+    out = groups;
+  }
+  if (!query.order_by_columns.empty()) {
+    cost += cost_model.SortCost(out, query.limit);
+  }
+  return cost;
+}
+
+std::string MaterializedView::CanonicalKey() const {
+  std::string out = "t:";
+  for (catalog::TableId t : tables_) out += StrFormat("%d,", t);
+  out += "|j:";
+  for (const auto& j : joins_) {
+    const auto [lo, hi] = CanonicalJoin(j);
+    out += StrFormat("%d.%d=%d.%d,", lo.table, lo.column, hi.table, hi.column);
+  }
+  out += "|g:";
+  for (catalog::ColumnId c : group_by_) {
+    out += StrFormat("%d.%d,", c.table, c.column);
+  }
+  out += "|m:";
+  for (catalog::ColumnId c : measures_) {
+    out += StrFormat("%d.%d,", c.table, c.column);
+  }
+  return out;
+}
+
+std::string MaterializedView::DebugName(const catalog::Catalog& catalog) const {
+  std::string out = "MV[";
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (i > 0) out += "*";
+    out += catalog.table(tables_[i]).name();
+  }
+  out += StrFormat("] g=%zu m=%zu", group_by_.size(), measures_.size());
+  return out;
+}
+
+std::optional<MaterializedView> ViewCandidateFor(const sql::BoundQuery& query) {
+  if (query.tables.empty() || query.select_star) return std::nullopt;
+  if (!query.complex_predicates.empty()) return std::nullopt;
+  const bool has_agg =
+      !query.aggregates.empty() || !query.group_by_columns.empty();
+  if (!has_agg) return std::nullopt;  // views here are aggregate views
+  std::vector<catalog::TableId> tables;
+  for (const auto& ref : query.tables) {
+    if (ref.semantics != sql::JoinSemantics::kInner) return std::nullopt;
+    tables.push_back(ref.table);
+  }
+  for (const auto& agg : query.aggregates) {
+    if (agg.distinct) return std::nullopt;
+  }
+
+  // Group by the query's group columns plus every filter column, so any
+  // parameter binding of the same template can be answered.
+  std::vector<catalog::ColumnId> group = query.group_by_columns;
+  for (const auto& f : query.filters) group.push_back(f.column);
+  for (const auto& [col, desc] : query.order_by_columns) group.push_back(col);
+
+  std::vector<catalog::ColumnId> measures;
+  for (const auto& agg : query.aggregates) {
+    if (agg.argument.valid()) measures.push_back(agg.argument);
+  }
+  // Plain output columns must be stored too; put non-group outputs in
+  // measures so they survive.
+  for (catalog::ColumnId c : query.output_columns) measures.push_back(c);
+
+  return MaterializedView(std::move(tables), query.joins, std::move(group),
+                          std::move(measures));
+}
+
+}  // namespace isum::views

@@ -1,0 +1,86 @@
+#ifndef ISUM_VIEWS_VIEW_H_
+#define ISUM_VIEWS_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "sql/bound_query.h"
+
+namespace isum::views {
+
+/// A materialized aggregate view: a join core (tables + equi-join
+/// predicates) grouped by a set of columns, storing a set of measure
+/// columns. The §10 "other physical design structures" extension — the
+/// second structure ISUM's compression is evaluated against
+/// (bench_ext_views).
+///
+/// A view answers a query when its join core matches exactly, the query's
+/// group-by columns are a subset of the view's, every filter/output column
+/// the query needs survives in the view (group or measure column), and the
+/// query has no residual complex predicates. Matching is deliberately
+/// conservative (no view chaining, no partial join containment) — enough to
+/// study workload compression for view selection, not a rewriting engine.
+class MaterializedView {
+ public:
+  MaterializedView() = default;
+  MaterializedView(std::vector<catalog::TableId> tables,
+                   std::vector<sql::JoinPredicate> joins,
+                   std::vector<catalog::ColumnId> group_by,
+                   std::vector<catalog::ColumnId> measures);
+
+  const std::vector<catalog::TableId>& tables() const { return tables_; }
+  const std::vector<sql::JoinPredicate>& joins() const { return joins_; }
+  const std::vector<catalog::ColumnId>& group_by() const { return group_by_; }
+  const std::vector<catalog::ColumnId>& measures() const { return measures_; }
+
+  /// Estimated stored rows: min(join output, product of group distincts).
+  double EstimatedRows(const engine::CostModel& cost_model) const;
+
+  /// Estimated on-disk size in bytes.
+  uint64_t SizeBytes(const engine::CostModel& cost_model) const;
+
+  /// True if this view can answer `query` (see class comment).
+  bool Matches(const sql::BoundQuery& query) const;
+
+  /// Cost of answering `query` from this view: scan the view, apply the
+  /// query's (group-level) filters, re-aggregate if the query groups
+  /// coarser than the view. Only valid when Matches(query).
+  double AnswerCost(const sql::BoundQuery& query,
+                    const engine::CostModel& cost_model) const;
+
+  /// Stable identity for dedup/hashing.
+  std::string CanonicalKey() const;
+
+  std::string DebugName(const catalog::Catalog& catalog) const;
+
+  friend bool operator==(const MaterializedView& a, const MaterializedView& b) {
+    return a.CanonicalKey() == b.CanonicalKey();
+  }
+
+ private:
+  std::vector<catalog::TableId> tables_;       // sorted
+  std::vector<sql::JoinPredicate> joins_;      // canonical order
+  std::vector<catalog::ColumnId> group_by_;    // sorted
+  std::vector<catalog::ColumnId> measures_;    // sorted
+};
+
+/// Builds the candidate view for one query: its join core grouped by its
+/// group-by columns with its aggregate arguments and (group-level) filter
+/// columns as stored columns. Returns nullopt for queries a view cannot
+/// serve (no aggregation, complex predicates, or no tables).
+std::optional<MaterializedView> ViewCandidateFor(const sql::BoundQuery& query);
+
+}  // namespace isum::views
+
+namespace std {
+template <>
+struct hash<isum::views::MaterializedView> {
+  size_t operator()(const isum::views::MaterializedView& v) const noexcept {
+    return hash<string>()(v.CanonicalKey());
+  }
+};
+}  // namespace std
+
+#endif  // ISUM_VIEWS_VIEW_H_

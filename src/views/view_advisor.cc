@@ -1,0 +1,90 @@
+#include "views/view_advisor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/optimizer.h"
+
+namespace isum::views {
+
+double CostWithViews(const sql::BoundQuery& query,
+                     const std::vector<MaterializedView>& views,
+                     const engine::CostModel& cost_model) {
+  engine::Optimizer optimizer(&cost_model);
+  double best = optimizer.Cost(query, engine::Configuration());
+  for (const MaterializedView& view : views) {
+    if (view.Matches(query)) {
+      best = std::min(best, view.AnswerCost(query, cost_model));
+    }
+  }
+  return best;
+}
+
+ViewTuningResult ViewAdvisor::Tune(
+    const std::vector<advisor::WeightedQuery>& queries,
+    const ViewTuningOptions& options) const {
+  ViewTuningResult result;
+  engine::Optimizer optimizer(cost_model_);
+
+  // Candidate pool (deduplicated).
+  std::vector<MaterializedView> pool;
+  std::unordered_set<std::string> seen;
+  for (const advisor::WeightedQuery& wq : queries) {
+    auto candidate = ViewCandidateFor(*wq.query);
+    if (!candidate.has_value()) continue;
+    if (seen.insert(candidate->CanonicalKey()).second) {
+      pool.push_back(std::move(*candidate));
+    }
+  }
+
+  // Per-query current costs.
+  std::vector<double> current(queries.size());
+  double total = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    current[i] = optimizer.Cost(*queries[i].query, engine::Configuration());
+    total += queries[i].weight * current[i];
+  }
+  result.initial_cost = total;
+
+  const uint64_t budget = static_cast<uint64_t>(
+      options.storage_budget_multiplier *
+      static_cast<double>(cost_model_->catalog().total_data_bytes()));
+
+  std::vector<bool> used(pool.size(), false);
+  while (static_cast<int>(result.views.size()) < options.max_views) {
+    double best_improvement = 0.0;
+    size_t best = pool.size();
+    std::vector<double> best_costs;
+    for (size_t v = 0; v < pool.size(); ++v) {
+      if (used[v]) continue;
+      if (result.storage_bytes + pool[v].SizeBytes(*cost_model_) > budget) {
+        continue;
+      }
+      double improvement = 0.0;
+      std::vector<double> costs(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        costs[i] = current[i];
+        if (pool[v].Matches(*queries[i].query)) {
+          costs[i] = std::min(
+              costs[i], pool[v].AnswerCost(*queries[i].query, *cost_model_));
+          improvement += queries[i].weight * (current[i] - costs[i]);
+        }
+      }
+      if (improvement > best_improvement) {
+        best_improvement = improvement;
+        best = v;
+        best_costs = std::move(costs);
+      }
+    }
+    if (best == pool.size() || best_improvement <= 0.0) break;
+    used[best] = true;
+    result.storage_bytes += pool[best].SizeBytes(*cost_model_);
+    result.views.push_back(pool[best]);
+    current = std::move(best_costs);
+    total -= best_improvement;
+  }
+  result.final_cost = total;
+  return result;
+}
+
+}  // namespace isum::views

@@ -1,0 +1,51 @@
+#ifndef ISUM_VIEWS_VIEW_ADVISOR_H_
+#define ISUM_VIEWS_VIEW_ADVISOR_H_
+
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "views/view.h"
+
+namespace isum::views {
+
+/// Knobs for view selection.
+struct ViewTuningOptions {
+  int max_views = 10;
+  /// Storage budget as a fraction of the base data size (views are bulkier
+  /// than indexes; 1.0x of the database is a generous default).
+  double storage_budget_multiplier = 1.0;
+};
+
+struct ViewTuningResult {
+  std::vector<MaterializedView> views;
+  double initial_cost = 0.0;
+  double final_cost = 0.0;
+  uint64_t storage_bytes = 0;
+};
+
+/// Cost of `query` given `views`: the cheaper of the base-table plan (no
+/// indexes) and the best matching view.
+double CostWithViews(const sql::BoundQuery& query,
+                     const std::vector<MaterializedView>& views,
+                     const engine::CostModel& cost_model);
+
+/// A greedy materialized-view advisor, mirroring the index advisor's
+/// structure (candidates per query -> greedy enumeration under a storage
+/// budget, honoring query weights). Exists to evaluate the paper's §10
+/// claim that workload compression extends to other physical design
+/// problems (bench_ext_views).
+class ViewAdvisor {
+ public:
+  explicit ViewAdvisor(const engine::CostModel* cost_model)
+      : cost_model_(cost_model) {}
+
+  ViewTuningResult Tune(const std::vector<advisor::WeightedQuery>& queries,
+                        const ViewTuningOptions& options = {}) const;
+
+ private:
+  const engine::CostModel* cost_model_;
+};
+
+}  // namespace isum::views
+
+#endif  // ISUM_VIEWS_VIEW_ADVISOR_H_

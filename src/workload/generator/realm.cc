@@ -1,0 +1,199 @@
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "catalog/schema_builder.h"
+#include "stats/data_generator.h"
+#include "workload/generator/recipe.h"
+#include "workload/workload_factory.h"
+
+namespace isum::workload {
+
+namespace {
+
+using catalog::ColumnType;
+using stats::ColumnDataSpec;
+using stats::Distribution;
+
+/// Synthesizes the Real-M-like enterprise schema: `num_tables` tables with
+/// log-uniform row counts (1e3 .. ~5e7, heavy skew), each with a surrogate
+/// key, several attributes, and FK links to earlier tables forming loose
+/// clusters (the join patterns of a real operational database).
+gen::SchemaGraph BuildRealmSchema(catalog::Catalog* cat,
+                                  stats::StatsManager* sm, int num_tables,
+                                  double scale, Rng& rng) {
+  gen::SchemaGraph graph;
+  stats::DataGenerator dg;
+
+  std::vector<std::string> names;
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < num_tables; ++i) {
+    const std::string name = StrFormat("tbl_%03d", i);
+    // Log-uniform rows: most tables small, a few huge.
+    const double log_rows = rng.NextDouble(3.0, 7.7);
+    const uint64_t n =
+        static_cast<uint64_t>(std::pow(10.0, log_rows) * std::max(0.05, scale));
+    names.push_back(name);
+    rows.push_back(std::max<uint64_t>(100, n));
+  }
+
+  for (int i = 0; i < num_tables; ++i) {
+    catalog::SchemaBuilder b(cat);
+    auto tb = b.Table(names[i], rows[i]);
+    const std::string key_name = StrFormat("id_%03d", i);
+    tb.Key(key_name, ColumnType::kInt);
+
+    const catalog::Table* t = cat->FindTable(names[i]);
+    {
+      ColumnDataSpec spec;
+      spec.distribution = Distribution::kKey;
+      sm->SetStats(catalog::ColumnId{t->id(), 0},
+                   dg.Generate(spec, rows[i], rng));
+    }
+
+    // FK links to up to 3 earlier tables within a sliding window (clusters).
+    const int num_fks =
+        i == 0 ? 0 : static_cast<int>(rng.NextInt(0, std::min(3, i)));
+    for (int f = 0; f < num_fks; ++f) {
+      const int lo = std::max(0, i - 25);
+      const int ref = static_cast<int>(rng.NextInt(lo, i - 1));
+      const std::string fk_name = StrFormat("fk_%03d_%d", i, f);
+      tb.Col(fk_name, ColumnType::kInt);
+      const int32_t ord = cat->FindTable(names[i])->FindColumn(fk_name);
+      ColumnDataSpec spec;
+      spec.distribution = Distribution::kZipf;
+      spec.zipf_skew = 1.1;
+      spec.distinct = rows[ref];
+      spec.domain_min = 1.0;
+      spec.domain_max = static_cast<double>(rows[ref]);
+      sm->SetStats(catalog::ColumnId{t->id(), ord},
+                   dg.Generate(spec, rows[i], rng));
+      graph.edges.push_back(gen::JoinEdge{names[i], fk_name, names[ref],
+                                          StrFormat("id_%03d", ref)});
+    }
+
+    // Attributes: mix of categorical, numeric and date-ish columns.
+    const int num_attrs = static_cast<int>(rng.NextInt(3, 9));
+    for (int a = 0; a < num_attrs; ++a) {
+      const std::string col_name = StrFormat("col_%03d_%d", i, a);
+      const int flavor = static_cast<int>(rng.NextInt(0, 3));
+      ColumnDataSpec spec;
+      ColumnType type = ColumnType::kInt;
+      gen::FilterSlot::Kind kind = gen::FilterSlot::Kind::kRange;
+      switch (flavor) {
+        case 0:  // categorical
+          spec.distribution = Distribution::kZipf;
+          spec.zipf_skew = 1.0;
+          spec.distinct = static_cast<uint64_t>(rng.NextInt(2, 80));
+          spec.domain_min = 0;
+          spec.domain_max = static_cast<double>(spec.distinct);
+          kind = gen::FilterSlot::Kind::kEq;
+          graph.groupable.push_back({names[i], col_name});
+          break;
+        case 1:  // numeric measure
+          spec.distribution = Distribution::kGaussian;
+          spec.distinct = 20000;
+          spec.domain_min = 0;
+          spec.domain_max = rng.NextDouble(1e3, 1e6);
+          type = ColumnType::kDecimal;
+          graph.measures.push_back({names[i], col_name});
+          break;
+        case 2:  // timestamp-ish
+          spec.distribution = Distribution::kUniform;
+          spec.distinct = 3000;
+          spec.domain_min = 10000;
+          spec.domain_max = 13000;
+          type = ColumnType::kDate;
+          break;
+        default:  // wide id-like attribute
+          spec.distribution = Distribution::kUniform;
+          spec.distinct = rows[i] / 2 + 1;
+          spec.domain_min = 0;
+          spec.domain_max = static_cast<double>(rows[i]);
+          break;
+      }
+      tb.Col(col_name, type);
+      const int32_t ord = cat->FindTable(names[i])->FindColumn(col_name);
+      sm->SetStats(catalog::ColumnId{t->id(), ord},
+                   dg.Generate(spec, rows[i], rng));
+      graph.filterable.push_back({names[i], col_name, kind});
+    }
+    // Large tables behave like facts: at most one per query so join
+    // cardinalities stay index-fixable.
+    if (rows[i] > 1'000'000) graph.fact_tables.push_back(names[i]);
+  }
+  return graph;
+}
+
+}  // namespace
+
+GeneratedWorkload MakeRealM(const GeneratorOptions& options) {
+  GeneratedWorkload out;
+  out.name = "Real-M";
+  out.catalog = std::make_unique<catalog::Catalog>();
+  out.stats = std::make_unique<stats::StatsManager>(out.catalog.get());
+
+  Rng rng(options.seed ^ 0x4EA1ull);
+  Rng schema_rng = rng.Fork(1);
+  const gen::SchemaGraph graph = BuildRealmSchema(
+      out.catalog.get(), out.stats.get(), /*num_tables=*/474, options.scale,
+      schema_rng);
+  out.cost_model =
+      std::make_unique<engine::CostModel>(out.catalog.get(), out.stats.get());
+  out.workload = std::make_unique<Workload>(Workload::Environment{
+      out.catalog.get(), out.stats.get(), out.cost_model.get()});
+
+  // 456 nearly-unique templates (paper: 456 templates over 473 queries —
+  // the regime where template-based compression breaks down).
+  gen::RecipeGenOptions gen_options;
+  gen_options.min_joins = 0;
+  gen_options.max_joins = 3;
+  gen_options.min_filters = 1;
+  gen_options.max_filters = 3;
+  gen_options.aggregate_probability = 0.45;
+  gen_options.order_by_probability = 0.35;
+  gen_options.fact_anchor_probability = 0.45;
+  gen_options.tag = "realm";
+  Rng recipe_rng = rng.Fork(2);
+  std::vector<gen::TemplateRecipe> recipes =
+      gen::GenerateRecipes(graph, 456, gen_options, recipe_rng);
+  if (options.max_templates > 0 &&
+      static_cast<size_t>(options.max_templates) < recipes.size()) {
+    recipes.resize(static_cast<size_t>(options.max_templates));
+  }
+
+  Rng inst_rng = rng.Fork(3);
+  auto add_instance = [&](const gen::TemplateRecipe& recipe, Rng& r) {
+    const std::string sql =
+        gen::InstantiateSql(recipe, *out.catalog, *out.stats, r);
+    const Status st = out.workload->AddQuery(sql, recipe.tag);
+    if (!st.ok()) {
+      std::fprintf(stderr, "Real-M template failed: %s\nSQL: %s\n",
+                   st.ToString().c_str(), sql.c_str());
+    }
+  };
+  const int instances = options.instances_per_template;
+  if (instances > 0) {
+    for (size_t ti = 0; ti < recipes.size(); ++ti) {
+      Rng template_rng = rng.Fork(1000 + ti);
+      for (int i = 0; i < instances; ++i) add_instance(recipes[ti], template_rng);
+    }
+  } else {
+    // Paper shape: one instance per template plus a few repeated templates
+    // (473 queries over 456 templates).
+    for (size_t ti = 0; ti < recipes.size(); ++ti) {
+      Rng template_rng = rng.Fork(1000 + ti);
+      add_instance(recipes[ti], template_rng);
+    }
+    const size_t extras =
+        recipes.empty() ? 0 : std::min<size_t>(17, recipes.size());
+    for (size_t e = 0; e < extras; ++e) {
+      const size_t ti = inst_rng.NextUint64(recipes.size());
+      Rng template_rng = rng.Fork(5000 + e);
+      add_instance(recipes[ti], template_rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace isum::workload

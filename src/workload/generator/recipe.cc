@@ -1,0 +1,288 @@
+#include "workload/generator/recipe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace isum::workload::gen {
+
+namespace {
+
+std::string FormatLiteral(double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.4f", v);
+}
+
+catalog::ColumnId Resolve(const catalog::Catalog& catalog,
+                          const std::string& table, const std::string& column) {
+  return catalog.ResolveColumn(table, column);
+}
+
+}  // namespace
+
+std::string InstantiateSql(const TemplateRecipe& recipe,
+                           const catalog::Catalog& catalog,
+                           const stats::StatsManager& stats, Rng& rng) {
+  std::string sql = "SELECT ";
+  std::vector<std::string> select_parts;
+  for (const auto& [t, c] : recipe.select_columns) {
+    select_parts.push_back(t + "." + c);
+  }
+  for (const std::string& agg : recipe.aggregates) select_parts.push_back(agg);
+  if (select_parts.empty()) select_parts.push_back("COUNT(*)");
+  sql += Join(select_parts, ", ");
+
+  sql += " FROM " + Join(recipe.tables, ", ");
+
+  std::vector<std::string> conjuncts;
+  for (const JoinEdge& j : recipe.joins) {
+    conjuncts.push_back(j.left_table + "." + j.left_column + " = " +
+                        j.right_table + "." + j.right_column);
+  }
+  for (const FilterSlot& f : recipe.filters) {
+    const catalog::ColumnId id = Resolve(catalog, f.table, f.column);
+    const std::string col = f.table + "." + f.column;
+    const double target = rng.NextDouble(f.min_selectivity, f.max_selectivity);
+    switch (f.kind) {
+      case FilterSlot::Kind::kEq: {
+        const double v = stats.ValueAtQuantile(id, rng.NextDouble());
+        conjuncts.push_back(col + " = " + FormatLiteral(v));
+        break;
+      }
+      case FilterSlot::Kind::kRange: {
+        const double start = rng.NextDouble() * std::max(0.0, 1.0 - target);
+        const double lo = stats.ValueAtQuantile(id, start);
+        const double hi = stats.ValueAtQuantile(id, start + target);
+        conjuncts.push_back(col + " BETWEEN " + FormatLiteral(lo) + " AND " +
+                            FormatLiteral(hi));
+        break;
+      }
+      case FilterSlot::Kind::kLessEq: {
+        const double hi = stats.ValueAtQuantile(id, target);
+        conjuncts.push_back(col + " <= " + FormatLiteral(hi));
+        break;
+      }
+      case FilterSlot::Kind::kGreaterEq: {
+        const double lo = stats.ValueAtQuantile(id, 1.0 - target);
+        conjuncts.push_back(col + " >= " + FormatLiteral(lo));
+        break;
+      }
+      case FilterSlot::Kind::kIn: {
+        std::set<std::string> values;
+        for (int i = 0; i < f.in_list_size; ++i) {
+          values.insert(
+              FormatLiteral(stats.ValueAtQuantile(id, rng.NextDouble())));
+        }
+        conjuncts.push_back(
+            col + " IN (" +
+            Join(std::vector<std::string>(values.begin(), values.end()), ", ") +
+            ")");
+        break;
+      }
+    }
+  }
+  if (!conjuncts.empty()) sql += " WHERE " + Join(conjuncts, " AND ");
+
+  if (!recipe.group_by.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [t, c] : recipe.group_by) parts.push_back(t + "." + c);
+    sql += " GROUP BY " + Join(parts, ", ");
+  }
+  if (!recipe.order_by.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [t, c] : recipe.order_by) parts.push_back(t + "." + c);
+    sql += " ORDER BY " + Join(parts, ", ");
+    if (recipe.order_desc) sql += " DESC";
+  }
+  if (recipe.limit > 0) sql += StrFormat(" LIMIT %d", recipe.limit);
+  return sql;
+}
+
+std::vector<const JoinEdge*> SchemaGraph::EdgesOf(
+    const std::string& table) const {
+  std::vector<const JoinEdge*> out;
+  for (const JoinEdge& e : edges) {
+    if (e.left_table == table || e.right_table == table) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<TemplateRecipe> GenerateRecipes(const SchemaGraph& graph, int count,
+                                            const RecipeGenOptions& options,
+                                            Rng& rng) {
+  std::vector<TemplateRecipe> out;
+  std::unordered_set<uint64_t> shapes;  // avoid duplicate shapes
+
+  auto columns_of = [&graph](const std::string& table) {
+    std::vector<SchemaGraph::FilterableColumn> cols;
+    for (const auto& fc : graph.filterable) {
+      if (fc.table == table) cols.push_back(fc);
+    }
+    return cols;
+  };
+
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count && attempts < count * 50) {
+    ++attempts;
+    TemplateRecipe recipe;
+    recipe.tag = options.tag;
+
+    const std::unordered_set<std::string> facts(graph.fact_tables.begin(),
+                                                graph.fact_tables.end());
+
+    // Anchor table.
+    std::string anchor;
+    if (!graph.fact_tables.empty() &&
+        rng.NextBool(options.fact_anchor_probability)) {
+      anchor = graph.fact_tables[rng.NextUint64(graph.fact_tables.size())];
+    } else if (!graph.edges.empty()) {
+      const JoinEdge& e = graph.edges[rng.NextUint64(graph.edges.size())];
+      anchor = rng.NextBool() ? e.left_table : e.right_table;
+    } else if (!graph.filterable.empty()) {
+      anchor = graph.filterable[rng.NextUint64(graph.filterable.size())].table;
+    } else {
+      break;
+    }
+    recipe.tables.push_back(anchor);
+    int fact_count = facts.contains(anchor) ? 1 : 0;
+
+    // Random join walk.
+    const int num_joins = static_cast<int>(
+        rng.NextInt(options.min_joins, options.max_joins));
+    std::unordered_set<std::string> in_query = {anchor};
+    for (int j = 0; j < num_joins; ++j) {
+      // Collect edges extending the current set by one new table.
+      std::vector<const JoinEdge*> frontier;
+      for (const std::string& t : recipe.tables) {
+        for (const JoinEdge* e : graph.EdgesOf(t)) {
+          const std::string& other =
+              e->left_table == t ? e->right_table : e->left_table;
+          if (in_query.contains(other)) continue;
+          if (!options.allow_multiple_facts && fact_count >= 1 &&
+              facts.contains(other)) {
+            continue;
+          }
+          frontier.push_back(e);
+        }
+      }
+      if (frontier.empty()) break;
+      const JoinEdge* chosen = frontier[rng.NextUint64(frontier.size())];
+      const std::string added = in_query.contains(chosen->left_table)
+                                    ? chosen->right_table
+                                    : chosen->left_table;
+      in_query.insert(added);
+      if (facts.contains(added)) ++fact_count;
+      recipe.tables.push_back(added);
+      recipe.joins.push_back(*chosen);
+    }
+
+    // Filters over the participating tables.
+    std::vector<SchemaGraph::FilterableColumn> pool;
+    for (const std::string& t : recipe.tables) {
+      for (const auto& fc : columns_of(t)) pool.push_back(fc);
+    }
+    if (pool.empty()) continue;
+    const int num_filters = static_cast<int>(rng.NextInt(
+        options.min_filters,
+        std::min<int64_t>(options.max_filters, static_cast<int64_t>(pool.size()))));
+    rng.Shuffle(pool);
+    for (int f = 0; f < num_filters; ++f) {
+      FilterSlot slot;
+      slot.table = pool[f].table;
+      slot.column = pool[f].column;
+      slot.kind = pool[f].kind;
+      // Template-specific selectivity band (kept narrow so instances of one
+      // template are alike, as with real parameterized queries).
+      const double center = std::pow(10.0, rng.NextDouble(-3.0, -0.5));
+      slot.min_selectivity = center * 0.5;
+      slot.max_selectivity = std::min(0.9, center * 1.5);
+      recipe.filters.push_back(slot);
+    }
+
+    // Aggregation / projection.
+    const bool aggregate = rng.NextBool(options.aggregate_probability);
+    if (aggregate) {
+      std::vector<std::pair<std::string, std::string>> group_pool;
+      for (const auto& [t, c] : graph.groupable) {
+        if (in_query.contains(t)) group_pool.push_back({t, c});
+      }
+      if (!group_pool.empty()) {
+        rng.Shuffle(group_pool);
+        const int g = static_cast<int>(rng.NextInt(
+            1, std::min<int64_t>(2, static_cast<int64_t>(group_pool.size()))));
+        for (int i = 0; i < g; ++i) {
+          recipe.group_by.push_back(group_pool[i]);
+          recipe.select_columns.push_back(group_pool[i]);
+        }
+      }
+      std::vector<std::pair<std::string, std::string>> measure_pool;
+      for (const auto& [t, c] : graph.measures) {
+        if (in_query.contains(t)) measure_pool.push_back({t, c});
+      }
+      if (!measure_pool.empty()) {
+        const auto& [mt, mc] = measure_pool[rng.NextUint64(measure_pool.size())];
+        static constexpr const char* kAggs[] = {"SUM", "AVG", "MIN", "MAX"};
+        recipe.aggregates.push_back(std::string(kAggs[rng.NextUint64(4)]) + "(" +
+                                    mt + "." + mc + ")");
+      } else {
+        recipe.aggregates.push_back("COUNT(*)");
+      }
+      if (recipe.group_by.empty() && recipe.aggregates.empty()) {
+        recipe.aggregates.push_back("COUNT(*)");
+      }
+    } else {
+      // Project a few concrete columns.
+      std::vector<std::pair<std::string, std::string>> proj_pool;
+      for (const auto& [t, c] : graph.measures) {
+        if (in_query.contains(t)) proj_pool.push_back({t, c});
+      }
+      for (const auto& fc : pool) proj_pool.push_back({fc.table, fc.column});
+      if (!proj_pool.empty()) {
+        rng.Shuffle(proj_pool);
+        const int p = static_cast<int>(rng.NextInt(
+            1, std::min<int64_t>(4, static_cast<int64_t>(proj_pool.size()))));
+        for (int i = 0; i < p; ++i) {
+          if (std::find(recipe.select_columns.begin(), recipe.select_columns.end(),
+                        proj_pool[i]) == recipe.select_columns.end()) {
+            recipe.select_columns.push_back(proj_pool[i]);
+          }
+        }
+      }
+    }
+
+    // Order-by: group-by columns (post-agg) or projected columns.
+    if (rng.NextBool(options.order_by_probability)) {
+      if (!recipe.group_by.empty()) {
+        recipe.order_by.push_back(recipe.group_by.front());
+      } else if (!recipe.select_columns.empty()) {
+        recipe.order_by.push_back(recipe.select_columns.front());
+      }
+      recipe.order_desc = rng.NextBool();
+    }
+    if (rng.NextBool(options.limit_probability)) {
+      recipe.limit = static_cast<int>(rng.NextInt(10, 100));
+    }
+
+    // Shape signature for dedup: tables + filter columns + group/order.
+    std::string sig;
+    for (const auto& t : recipe.tables) sig += t + "|";
+    for (const auto& f : recipe.filters) sig += f.table + "." + f.column + ";";
+    for (const auto& [t, c] : recipe.group_by) sig += "g" + t + "." + c;
+    for (const auto& [t, c] : recipe.order_by) sig += "o" + t + "." + c;
+    for (const auto& a : recipe.aggregates) sig += a;
+    if (!shapes.insert(HashBytes(sig)).second) continue;
+
+    recipe.name = StrFormat("%s_t%zu", options.tag.empty() ? "tpl" : options.tag.c_str(),
+                            out.size());
+    out.push_back(std::move(recipe));
+  }
+  return out;
+}
+
+}  // namespace isum::workload::gen

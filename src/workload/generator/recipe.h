@@ -1,0 +1,109 @@
+#ifndef ISUM_WORKLOAD_GENERATOR_RECIPE_H_
+#define ISUM_WORKLOAD_GENERATOR_RECIPE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "stats/stats_manager.h"
+
+namespace isum::workload::gen {
+
+/// One equi-join edge between two tables (by column names).
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// A parameterized filter slot. Each instantiation draws a fresh literal; for
+/// ranges the literal pair is chosen via histogram quantiles so the predicate
+/// hits a target selectivity drawn from [min_selectivity, max_selectivity].
+struct FilterSlot {
+  enum class Kind { kEq, kRange, kLessEq, kGreaterEq, kIn };
+  std::string table;
+  std::string column;
+  Kind kind = Kind::kRange;
+  double min_selectivity = 0.01;
+  double max_selectivity = 0.2;
+  int in_list_size = 3;  ///< for kIn
+};
+
+/// A declarative query template: instantiating it with different parameter
+/// bindings yields query instances sharing one template (in the sense of
+/// [11] / the paper's §7).
+struct TemplateRecipe {
+  std::string name;
+  std::string tag;  ///< e.g. DSB class: "SPJ" / "Aggregate" / "Complex"
+  std::vector<std::string> tables;
+  std::vector<JoinEdge> joins;
+  std::vector<FilterSlot> filters;
+  /// Plain projected columns, as (table, column).
+  std::vector<std::pair<std::string, std::string>> select_columns;
+  /// Rendered aggregate expressions, e.g. "SUM(ss_net_paid)".
+  std::vector<std::string> aggregates;
+  std::vector<std::pair<std::string, std::string>> group_by;
+  std::vector<std::pair<std::string, std::string>> order_by;
+  bool order_desc = false;
+  int limit = 0;  ///< 0 = none
+};
+
+/// Renders one SQL instance of `recipe`, drawing parameter bindings from
+/// `rng` and choosing literals through column statistics so target
+/// selectivities are met.
+std::string InstantiateSql(const TemplateRecipe& recipe,
+                           const catalog::Catalog& catalog,
+                           const stats::StatsManager& stats, Rng& rng);
+
+/// Declarative description of a schema for procedural template generation.
+struct SchemaGraph {
+  struct FilterableColumn {
+    std::string table;
+    std::string column;
+    FilterSlot::Kind kind = FilterSlot::Kind::kRange;
+  };
+  /// Fact tables (recipe anchors) and dimension tables.
+  std::vector<std::string> fact_tables;
+  std::vector<JoinEdge> edges;  ///< joinable pairs (fact->dim or dim->dim)
+  std::vector<FilterableColumn> filterable;
+  /// Group-by-able columns (low cardinality), as (table, column).
+  std::vector<std::pair<std::string, std::string>> groupable;
+  /// Numeric measures for aggregates, as (table, column).
+  std::vector<std::pair<std::string, std::string>> measures;
+
+  /// Edges incident to `table`.
+  std::vector<const JoinEdge*> EdgesOf(const std::string& table) const;
+};
+
+/// Shape constraints for procedurally generated templates.
+struct RecipeGenOptions {
+  int min_joins = 0;
+  int max_joins = 4;
+  int min_filters = 1;
+  int max_filters = 3;
+  /// Probability the template aggregates (group-by + agg functions).
+  double aggregate_probability = 0.5;
+  /// Probability of an ORDER BY (independent of aggregation).
+  double order_by_probability = 0.4;
+  double limit_probability = 0.2;
+  /// Probability the walk anchors at a fact table (when the graph has any).
+  double fact_anchor_probability = 1.0;
+  /// At most one fact table per query: joining two facts through a shared
+  /// dimension explodes cardinalities in ways no index fixes; real star
+  /// benchmarks join one fact to its dimensions.
+  bool allow_multiple_facts = false;
+  std::string tag;
+};
+
+/// Generates `count` distinct template recipes over `graph`, deterministic
+/// in `rng`. Each starts at a fact table (or a random table when the graph
+/// has no facts) and walks join edges.
+std::vector<TemplateRecipe> GenerateRecipes(const SchemaGraph& graph, int count,
+                                            const RecipeGenOptions& options,
+                                            Rng& rng);
+
+}  // namespace isum::workload::gen
+
+#endif  // ISUM_WORKLOAD_GENERATOR_RECIPE_H_

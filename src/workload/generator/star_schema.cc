@@ -1,0 +1,287 @@
+#include "workload/generator/star_schema.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "catalog/schema_builder.h"
+#include "stats/data_generator.h"
+
+namespace isum::workload::gen {
+
+namespace {
+
+using catalog::ColumnType;
+using stats::ColumnDataSpec;
+using stats::Distribution;
+
+/// Column roles driving both schema and statistics construction.
+enum class Role {
+  kKey,      ///< dense unique surrogate key
+  kFk,       ///< foreign key into `ref`'s surrogate key
+  kAttr,     ///< filterable/groupable categorical or numeric attribute
+  kMeasure,  ///< numeric measure (aggregation target)
+  kDate,     ///< date-valued attribute (range filters)
+};
+
+struct ColSpec {
+  const char* name;
+  Role role;
+  const char* ref = nullptr;  ///< referenced table for kFk
+  uint64_t distinct = 100;    ///< for kAttr
+  double lo = 0.0;
+  double hi = 100.0;
+};
+
+struct TableSpec {
+  const char* name;
+  double base_rows;  ///< at scale 1.0 (≈ TPC-DS sf10 sizes)
+  bool fact;
+  std::vector<ColSpec> cols;
+};
+
+// TPC-DS day-number domain 1998-01-01..2003-12-31.
+constexpr double kDsDateLo = 10227.0;
+constexpr double kDsDateHi = 12417.0;
+
+std::vector<TableSpec> StarTables() {
+  auto attr = [](const char* name, uint64_t distinct, double lo, double hi) {
+    return ColSpec{name, Role::kAttr, nullptr, distinct, lo, hi};
+  };
+  auto measure = [](const char* name, double lo, double hi) {
+    return ColSpec{name, Role::kMeasure, nullptr, 10000, lo, hi};
+  };
+  auto fk = [](const char* name, const char* ref) {
+    return ColSpec{name, Role::kFk, ref};
+  };
+  auto key = [](const char* name) { return ColSpec{name, Role::kKey}; };
+  auto date = [](const char* name) {
+    return ColSpec{name, Role::kDate, nullptr, 2190, kDsDateLo, kDsDateHi};
+  };
+
+  return {
+      // --- Dimensions. ---
+      {"date_dim", 73'049, false,
+       {key("d_date_sk"), date("d_date"), attr("d_year", 6, 1998, 2003),
+        attr("d_moy", 12, 1, 12), attr("d_dom", 31, 1, 31),
+        attr("d_day_name", 7, 0, 7), attr("d_quarter", 4, 1, 4)}},
+      {"time_dim", 86'400, false,
+       {key("t_time_sk"), attr("t_hour", 24, 0, 23), attr("t_minute", 60, 0, 59),
+        attr("t_shift", 3, 0, 3)}},
+      {"item", 102'000, false,
+       {key("i_item_sk"), attr("i_category", 10, 0, 10),
+        attr("i_class", 100, 0, 100), attr("i_brand", 500, 0, 500),
+        attr("i_color", 92, 0, 92), attr("i_size", 7, 0, 7),
+        measure("i_current_price", 0.1, 300.0),
+        attr("i_manufact", 1000, 0, 1000)}},
+      {"customer", 1'000'000, false,
+       {key("c_customer_sk"), fk("c_current_addr_sk", "customer_address"),
+        fk("c_current_cdemo_sk", "customer_demographics"),
+        fk("c_current_hdemo_sk", "household_demographics"),
+        attr("c_birth_year", 70, 1930, 2000),
+        attr("c_preferred_cust_flag", 2, 0, 1)}},
+      {"customer_address", 500'000, false,
+       {key("ca_address_sk"), attr("ca_state", 51, 0, 51),
+        attr("ca_city", 700, 0, 700), attr("ca_country", 2, 0, 2),
+        attr("ca_zip", 10000, 0, 99999), attr("ca_gmt_offset", 6, -10, -5)}},
+      {"customer_demographics", 1'920'800, false,
+       {key("cd_demo_sk"), attr("cd_gender", 2, 0, 1),
+        attr("cd_marital_status", 5, 0, 5),
+        attr("cd_education_status", 7, 0, 7),
+        attr("cd_credit_rating", 4, 0, 4)}},
+      {"household_demographics", 7'200, false,
+       {key("hd_demo_sk"), fk("hd_income_band_sk", "income_band"),
+        attr("hd_buy_potential", 6, 0, 6), attr("hd_dep_count", 10, 0, 9),
+        attr("hd_vehicle_count", 6, 0, 5)}},
+      {"income_band", 20, false,
+       {key("ib_income_band_sk"), attr("ib_lower_bound", 20, 0, 190000),
+        attr("ib_upper_bound", 20, 10000, 200000)}},
+      {"store", 1'002, false,
+       {key("s_store_sk"), attr("s_state", 30, 0, 30),
+        attr("s_city", 200, 0, 200), attr("s_number_employees", 300, 200, 500),
+        measure("s_floor_space", 5000000, 10000000),
+        attr("s_market_id", 10, 1, 10)}},
+      {"warehouse", 20, false,
+       {key("w_warehouse_sk"), attr("w_state", 15, 0, 15),
+        measure("w_warehouse_sq_ft", 50000, 1000000)}},
+      {"ship_mode", 20, false,
+       {key("sm_ship_mode_sk"), attr("sm_type", 6, 0, 6),
+        attr("sm_carrier", 20, 0, 20)}},
+      {"reason", 55, false,
+       {key("r_reason_sk"), attr("r_reason_desc", 55, 0, 55)}},
+      {"promotion", 1'000, false,
+       {key("p_promo_sk"), attr("p_channel_tv", 2, 0, 1),
+        attr("p_channel_email", 2, 0, 1), measure("p_cost", 500, 2000)}},
+      {"catalog_page", 20'400, false,
+       {key("cp_catalog_page_sk"), attr("cp_department", 10, 0, 10),
+        attr("cp_type", 3, 0, 3)}},
+      {"web_site", 54, false,
+       {key("web_site_sk"), attr("web_class", 5, 0, 5),
+        measure("web_tax_percentage", 0, 0.12)}},
+      {"web_page", 2'040, false,
+       {key("wp_web_page_sk"), attr("wp_char_count", 5000, 100, 8000),
+        attr("wp_type", 7, 0, 7)}},
+      {"call_center", 42, false,
+       {key("cc_call_center_sk"), attr("cc_class", 3, 0, 3),
+        attr("cc_employees", 40, 10, 700)}},
+      // --- Facts. ---
+      {"store_sales", 28'800'000, true,
+       {fk("ss_sold_date_sk", "date_dim"), fk("ss_sold_time_sk", "time_dim"),
+        fk("ss_item_sk", "item"), fk("ss_customer_sk", "customer"),
+        fk("ss_cdemo_sk", "customer_demographics"),
+        fk("ss_hdemo_sk", "household_demographics"),
+        fk("ss_addr_sk", "customer_address"), fk("ss_store_sk", "store"),
+        fk("ss_promo_sk", "promotion"), attr("ss_quantity", 100, 1, 100),
+        measure("ss_wholesale_cost", 1, 100), measure("ss_list_price", 1, 200),
+        measure("ss_sales_price", 0, 200), measure("ss_ext_discount_amt", 0, 1000),
+        measure("ss_net_paid", 0, 20000), measure("ss_net_profit", -10000, 10000)}},
+      {"catalog_sales", 14'400'000, true,
+       {fk("cs_sold_date_sk", "date_dim"), fk("cs_item_sk", "item"),
+        fk("cs_bill_customer_sk", "customer"),
+        fk("cs_bill_cdemo_sk", "customer_demographics"),
+        fk("cs_bill_addr_sk", "customer_address"),
+        fk("cs_call_center_sk", "call_center"),
+        fk("cs_catalog_page_sk", "catalog_page"),
+        fk("cs_ship_mode_sk", "ship_mode"), fk("cs_warehouse_sk", "warehouse"),
+        fk("cs_promo_sk", "promotion"), attr("cs_quantity", 100, 1, 100),
+        measure("cs_wholesale_cost", 1, 100), measure("cs_list_price", 1, 300),
+        measure("cs_sales_price", 0, 300), measure("cs_net_paid", 0, 30000),
+        measure("cs_net_profit", -10000, 20000)}},
+      {"web_sales", 7'200'000, true,
+       {fk("ws_sold_date_sk", "date_dim"), fk("ws_item_sk", "item"),
+        fk("ws_bill_customer_sk", "customer"),
+        fk("ws_bill_addr_sk", "customer_address"),
+        fk("ws_web_page_sk", "web_page"), fk("ws_web_site_sk", "web_site"),
+        fk("ws_ship_mode_sk", "ship_mode"), fk("ws_warehouse_sk", "warehouse"),
+        fk("ws_promo_sk", "promotion"), attr("ws_quantity", 100, 1, 100),
+        measure("ws_wholesale_cost", 1, 100), measure("ws_list_price", 1, 300),
+        measure("ws_sales_price", 0, 300), measure("ws_net_paid", 0, 30000),
+        measure("ws_net_profit", -10000, 20000)}},
+      {"store_returns", 2'880'000, true,
+       {fk("sr_returned_date_sk", "date_dim"), fk("sr_item_sk", "item"),
+        fk("sr_customer_sk", "customer"), fk("sr_store_sk", "store"),
+        fk("sr_reason_sk", "reason"), attr("sr_return_quantity", 100, 1, 100),
+        measure("sr_return_amt", 0, 20000), measure("sr_net_loss", 0, 10000)}},
+      {"catalog_returns", 1'440'000, true,
+       {fk("cr_returned_date_sk", "date_dim"), fk("cr_item_sk", "item"),
+        fk("cr_returning_customer_sk", "customer"),
+        fk("cr_call_center_sk", "call_center"), fk("cr_reason_sk", "reason"),
+        attr("cr_return_quantity", 100, 1, 100),
+        measure("cr_return_amount", 0, 30000), measure("cr_net_loss", 0, 15000)}},
+      {"web_returns", 720'000, true,
+       {fk("wr_returned_date_sk", "date_dim"), fk("wr_item_sk", "item"),
+        fk("wr_returning_customer_sk", "customer"),
+        fk("wr_web_page_sk", "web_page"), fk("wr_reason_sk", "reason"),
+        attr("wr_return_quantity", 100, 1, 100),
+        measure("wr_return_amt", 0, 30000), measure("wr_net_loss", 0, 15000)}},
+      {"inventory", 11'745'000, true,
+       {fk("inv_date_sk", "date_dim"), fk("inv_item_sk", "item"),
+        fk("inv_warehouse_sk", "warehouse"),
+        attr("inv_quantity_on_hand", 1000, 0, 1000)}},
+  };
+}
+
+ColumnType TypeForRole(Role role) {
+  switch (role) {
+    case Role::kKey:
+    case Role::kFk:
+      return ColumnType::kInt;
+    case Role::kAttr:
+      return ColumnType::kInt;
+    case Role::kMeasure:
+      return ColumnType::kDecimal;
+    case Role::kDate:
+      return ColumnType::kDate;
+  }
+  return ColumnType::kInt;
+}
+
+}  // namespace
+
+SchemaGraph BuildStarSchema(catalog::Catalog* catalog,
+                            stats::StatsManager* stats, double scale,
+                            double zipf_skew, Rng& rng) {
+  const std::vector<TableSpec> tables = StarTables();
+  SchemaGraph graph;
+
+  // --- Schema. ---
+  for (const TableSpec& ts : tables) {
+    // Dimensions keep their size; facts scale.
+    const double rows = ts.fact ? ts.base_rows * scale : ts.base_rows;
+    catalog::SchemaBuilder b(catalog);
+    auto tb = b.Table(ts.name, static_cast<uint64_t>(std::max(1.0, rows)));
+    for (const ColSpec& cs : ts.cols) {
+      if (cs.role == Role::kKey) {
+        tb.Key(cs.name, TypeForRole(cs.role));
+      } else {
+        tb.Col(cs.name, TypeForRole(cs.role));
+      }
+    }
+    if (ts.fact) graph.fact_tables.push_back(ts.name);
+  }
+
+  // --- Statistics + graph metadata. ---
+  stats::DataGenerator dg;
+  for (const TableSpec& ts : tables) {
+    const catalog::Table* t = catalog->FindTable(ts.name);
+    for (const ColSpec& cs : ts.cols) {
+      const catalog::ColumnId id{t->id(), t->FindColumn(cs.name)};
+      ColumnDataSpec spec;
+      switch (cs.role) {
+        case Role::kKey:
+          spec.distribution = Distribution::kKey;
+          break;
+        case Role::kFk: {
+          const uint64_t ref_rows = catalog->FindTable(cs.ref)->row_count();
+          spec.distribution = (ts.fact && zipf_skew > 0.0)
+                                  ? Distribution::kZipf
+                                  : Distribution::kUniform;
+          spec.zipf_skew = zipf_skew;
+          spec.distinct = ref_rows;
+          spec.domain_min = 1.0;
+          spec.domain_max = static_cast<double>(ref_rows);
+          break;
+        }
+        case Role::kAttr:
+        case Role::kDate:
+          spec.distribution = (ts.fact && zipf_skew > 0.0)
+                                  ? Distribution::kZipf
+                                  : Distribution::kUniform;
+          spec.zipf_skew = zipf_skew;
+          spec.distinct = cs.distinct;
+          spec.domain_min = cs.lo;
+          spec.domain_max = cs.hi;
+          break;
+        case Role::kMeasure:
+          spec.distribution = Distribution::kGaussian;
+          spec.distinct = cs.distinct;
+          spec.domain_min = cs.lo;
+          spec.domain_max = cs.hi;
+          break;
+      }
+      stats->SetStats(id, dg.Generate(spec, t->row_count(), rng));
+
+      // Graph roles.
+      if (cs.role == Role::kFk) {
+        // Edge fact_fk -> referenced key (first column of the ref table).
+        const catalog::Table* ref = catalog->FindTable(cs.ref);
+        graph.edges.push_back(JoinEdge{ts.name, cs.name, std::string(cs.ref),
+                                       ref->column(0).name});
+      } else if (cs.role == Role::kAttr) {
+        graph.filterable.push_back(
+            {ts.name, cs.name,
+             cs.distinct <= 100 ? FilterSlot::Kind::kEq
+                                : FilterSlot::Kind::kRange});
+        if (cs.distinct <= 100) graph.groupable.push_back({ts.name, cs.name});
+      } else if (cs.role == Role::kDate) {
+        graph.filterable.push_back({ts.name, cs.name, FilterSlot::Kind::kRange});
+      } else if (cs.role == Role::kMeasure) {
+        graph.measures.push_back({ts.name, cs.name});
+        graph.filterable.push_back({ts.name, cs.name, FilterSlot::Kind::kRange});
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace isum::workload::gen

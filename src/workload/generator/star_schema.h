@@ -1,0 +1,21 @@
+#ifndef ISUM_WORKLOAD_GENERATOR_STAR_SCHEMA_H_
+#define ISUM_WORKLOAD_GENERATOR_STAR_SCHEMA_H_
+
+#include "workload/generator/recipe.h"
+
+namespace isum::workload::gen {
+
+/// Builds the 24-table TPC-DS-style star/snowflake schema (3 sales facts,
+/// 3 returns facts, inventory, 17 dimensions), registers synthetic
+/// statistics, and returns the join graph recipes are generated over.
+///
+/// `zipf_skew` > 0 switches fact attributes and foreign keys to zipfian
+/// distributions — the "skewed data distribution" that differentiates DSB
+/// from plain TPC-DS [21].
+SchemaGraph BuildStarSchema(catalog::Catalog* catalog,
+                            stats::StatsManager* stats, double scale,
+                            double zipf_skew, Rng& rng);
+
+}  // namespace isum::workload::gen
+
+#endif  // ISUM_WORKLOAD_GENERATOR_STAR_SCHEMA_H_

@@ -1,0 +1,138 @@
+#include <cstdio>
+
+#include "workload/generator/star_schema.h"
+#include "workload/workload_factory.h"
+
+namespace isum::workload {
+
+namespace {
+
+/// Fills `out` with ~`instances` instances of each recipe (zipf-skewed
+/// across templates when `instance_skew` > 0).
+void Instantiate(const std::vector<gen::TemplateRecipe>& recipes, int instances,
+                 double instance_skew, Rng& rng, GeneratedWorkload* out) {
+  const std::vector<int> counts =
+      SkewedInstanceCounts(recipes.size(), instances, instance_skew);
+  for (size_t ti = 0; ti < recipes.size(); ++ti) {
+    Rng template_rng = rng.Fork(1000 + ti);
+    for (int i = 0; i < counts[ti]; ++i) {
+      const std::string sql = gen::InstantiateSql(recipes[ti], *out->catalog,
+                                                  *out->stats, template_rng);
+      const Status st = out->workload->AddQuery(sql, recipes[ti].tag);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s template %zu failed: %s\nSQL: %s\n",
+                     out->name.c_str(), ti, st.ToString().c_str(), sql.c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedWorkload MakeTpcds(const GeneratorOptions& options) {
+  GeneratedWorkload out;
+  out.name = "TPC-DS";
+  out.catalog = std::make_unique<catalog::Catalog>();
+  out.stats = std::make_unique<stats::StatsManager>(out.catalog.get());
+
+  Rng rng(options.seed ^ 0x7DC5ull);
+  Rng stats_rng = rng.Fork(1);
+  const gen::SchemaGraph graph =
+      gen::BuildStarSchema(out.catalog.get(), out.stats.get(), options.scale,
+                           /*zipf_skew=*/0.0, stats_rng);
+  out.cost_model =
+      std::make_unique<engine::CostModel>(out.catalog.get(), out.stats.get());
+  out.workload = std::make_unique<Workload>(Workload::Environment{
+      out.catalog.get(), out.stats.get(), out.cost_model.get()});
+
+  gen::RecipeGenOptions gen_options;
+  gen_options.min_joins = 1;
+  gen_options.max_joins = 4;
+  gen_options.aggregate_probability = 0.6;
+  gen_options.tag = "tpcds";
+  Rng recipe_rng = rng.Fork(2);
+  std::vector<gen::TemplateRecipe> recipes =
+      gen::GenerateRecipes(graph, 91, gen_options, recipe_rng);
+  if (options.max_templates > 0 &&
+      static_cast<size_t>(options.max_templates) < recipes.size()) {
+    recipes.resize(static_cast<size_t>(options.max_templates));
+  }
+  const int instances =
+      options.instances_per_template > 0 ? options.instances_per_template : 100;
+  Instantiate(recipes, instances, options.instance_skew, rng, &out);
+  return out;
+}
+
+GeneratedWorkload MakeDsb(const GeneratorOptions& options, DsbClass query_class) {
+  GeneratedWorkload out;
+  out.name = "DSB";
+  out.catalog = std::make_unique<catalog::Catalog>();
+  out.stats = std::make_unique<stats::StatsManager>(out.catalog.get());
+
+  Rng rng(options.seed ^ 0xD5Bull);
+  Rng stats_rng = rng.Fork(1);
+  // DSB = TPC-DS schema with skewed data [21].
+  const gen::SchemaGraph graph =
+      gen::BuildStarSchema(out.catalog.get(), out.stats.get(), options.scale,
+                           /*zipf_skew=*/1.2, stats_rng);
+  out.cost_model =
+      std::make_unique<engine::CostModel>(out.catalog.get(), out.stats.get());
+  out.workload = std::make_unique<Workload>(Workload::Environment{
+      out.catalog.get(), out.stats.get(), out.cost_model.get()});
+
+  // 52 templates across the three DSB classes (roughly even split).
+  Rng recipe_rng = rng.Fork(2);
+  std::vector<gen::TemplateRecipe> recipes;
+  {
+    gen::RecipeGenOptions spj;
+    spj.min_joins = 1;
+    spj.max_joins = 3;
+    spj.aggregate_probability = 0.0;
+    spj.order_by_probability = 0.3;
+    spj.tag = "SPJ";
+    auto batch = gen::GenerateRecipes(graph, 18, spj, recipe_rng);
+    recipes.insert(recipes.end(), batch.begin(), batch.end());
+  }
+  {
+    gen::RecipeGenOptions agg;
+    agg.min_joins = 0;
+    agg.max_joins = 2;
+    agg.aggregate_probability = 1.0;
+    agg.order_by_probability = 0.3;
+    agg.tag = "Aggregate";
+    auto batch = gen::GenerateRecipes(graph, 17, agg, recipe_rng);
+    recipes.insert(recipes.end(), batch.begin(), batch.end());
+  }
+  {
+    gen::RecipeGenOptions complex;
+    complex.min_joins = 3;
+    complex.max_joins = 6;
+    complex.min_filters = 2;
+    complex.max_filters = 4;
+    complex.aggregate_probability = 1.0;
+    complex.order_by_probability = 0.6;
+    complex.tag = "Complex";
+    auto batch = gen::GenerateRecipes(graph, 17, complex, recipe_rng);
+    recipes.insert(recipes.end(), batch.begin(), batch.end());
+  }
+
+  // Class filter (Figure 12b–d).
+  if (query_class != DsbClass::kAll) {
+    const char* want = query_class == DsbClass::kSpj        ? "SPJ"
+                       : query_class == DsbClass::kAggregate ? "Aggregate"
+                                                             : "Complex";
+    std::erase_if(recipes, [want](const gen::TemplateRecipe& r) {
+      return r.tag != want;
+    });
+  }
+  if (options.max_templates > 0 &&
+      static_cast<size_t>(options.max_templates) < recipes.size()) {
+    recipes.resize(static_cast<size_t>(options.max_templates));
+  }
+  const int instances =
+      options.instances_per_template > 0 ? options.instances_per_template : 10;
+  Instantiate(recipes, instances, options.instance_skew, rng, &out);
+  return out;
+}
+
+}  // namespace isum::workload

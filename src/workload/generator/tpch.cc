@@ -1,0 +1,499 @@
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "catalog/schema_builder.h"
+#include "common/string_util.h"
+#include "sql/binder.h"
+#include "stats/data_generator.h"
+#include "workload/workload_factory.h"
+
+namespace isum::workload {
+
+namespace {
+
+using catalog::ColumnType;
+using stats::ColumnDataSpec;
+using stats::Distribution;
+
+// Day numbers (since 1970-01-01) for the TPC-H date range 1992-01-01 to
+// 1998-12-31.
+constexpr double kDateLo = 8035.0;
+constexpr double kDateHi = 10591.0;
+
+/// Formats a day number back to an ISO date string (civil_from_days).
+std::string FormatDate(double days) {
+  int64_t z = static_cast<int64_t>(days) + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint64_t doe = static_cast<uint64_t>(z - era * 146097);
+  const uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint64_t mp = (5 * doy + 2) / 153;
+  const uint64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint64_t m = mp + (mp < 10 ? 3 : -9);
+  return StrFormat("%04lld-%02llu-%02llu", static_cast<long long>(y + (m <= 2)),
+                   static_cast<unsigned long long>(m),
+                   static_cast<unsigned long long>(d));
+}
+
+struct TpchEnv {
+  catalog::Catalog* catalog;
+  stats::StatsManager* stats;
+};
+
+void BuildSchema(catalog::Catalog* cat, double sf) {
+  catalog::SchemaBuilder b(cat);
+  auto rows = [sf](double base) {
+    return static_cast<uint64_t>(std::max(1.0, base * sf));
+  };
+  b.Table("region", 5)
+      .Key("r_regionkey", ColumnType::kInt)
+      .Col("r_name", ColumnType::kChar, 25)
+      .Col("r_comment", ColumnType::kVarchar, 152);
+  b.Table("nation", 25)
+      .Key("n_nationkey", ColumnType::kInt)
+      .Col("n_name", ColumnType::kChar, 25)
+      .Col("n_regionkey", ColumnType::kInt)
+      .Col("n_comment", ColumnType::kVarchar, 152);
+  b.Table("supplier", rows(10'000))
+      .Key("s_suppkey", ColumnType::kInt)
+      .Col("s_name", ColumnType::kChar, 25)
+      .Col("s_address", ColumnType::kVarchar, 40)
+      .Col("s_nationkey", ColumnType::kInt)
+      .Col("s_phone", ColumnType::kChar, 15)
+      .Col("s_acctbal", ColumnType::kDecimal)
+      .Col("s_comment", ColumnType::kVarchar, 101);
+  b.Table("customer", rows(150'000))
+      .Key("c_custkey", ColumnType::kInt)
+      .Col("c_name", ColumnType::kVarchar, 25)
+      .Col("c_address", ColumnType::kVarchar, 40)
+      .Col("c_nationkey", ColumnType::kInt)
+      .Col("c_phone", ColumnType::kChar, 15)
+      .Col("c_acctbal", ColumnType::kDecimal)
+      .Col("c_mktsegment", ColumnType::kChar, 10)
+      .Col("c_comment", ColumnType::kVarchar, 117);
+  b.Table("part", rows(200'000))
+      .Key("p_partkey", ColumnType::kInt)
+      .Col("p_name", ColumnType::kVarchar, 55)
+      .Col("p_mfgr", ColumnType::kChar, 25)
+      .Col("p_brand", ColumnType::kChar, 10)
+      .Col("p_type", ColumnType::kVarchar, 25)
+      .Col("p_size", ColumnType::kInt)
+      .Col("p_container", ColumnType::kChar, 10)
+      .Col("p_retailprice", ColumnType::kDecimal)
+      .Col("p_comment", ColumnType::kVarchar, 23);
+  b.Table("partsupp", rows(800'000))
+      .Col("ps_partkey", ColumnType::kInt)
+      .Col("ps_suppkey", ColumnType::kInt)
+      .Col("ps_availqty", ColumnType::kInt)
+      .Col("ps_supplycost", ColumnType::kDecimal)
+      .Col("ps_comment", ColumnType::kVarchar, 199);
+  b.Table("orders", rows(1'500'000))
+      .Key("o_orderkey", ColumnType::kInt)
+      .Col("o_custkey", ColumnType::kInt)
+      .Col("o_orderstatus", ColumnType::kChar, 1)
+      .Col("o_totalprice", ColumnType::kDecimal)
+      .Col("o_orderdate", ColumnType::kDate)
+      .Col("o_orderpriority", ColumnType::kChar, 15)
+      .Col("o_clerk", ColumnType::kChar, 15)
+      .Col("o_shippriority", ColumnType::kInt)
+      .Col("o_comment", ColumnType::kVarchar, 79);
+  b.Table("lineitem", rows(6'000'000))
+      .Col("l_orderkey", ColumnType::kInt)
+      .Col("l_partkey", ColumnType::kInt)
+      .Col("l_suppkey", ColumnType::kInt)
+      .Col("l_linenumber", ColumnType::kInt)
+      .Col("l_quantity", ColumnType::kDecimal)
+      .Col("l_extendedprice", ColumnType::kDecimal)
+      .Col("l_discount", ColumnType::kDecimal)
+      .Col("l_tax", ColumnType::kDecimal)
+      .Col("l_returnflag", ColumnType::kChar, 1)
+      .Col("l_linestatus", ColumnType::kChar, 1)
+      .Col("l_shipdate", ColumnType::kDate)
+      .Col("l_commitdate", ColumnType::kDate)
+      .Col("l_receiptdate", ColumnType::kDate)
+      .Col("l_shipinstruct", ColumnType::kChar, 25)
+      .Col("l_shipmode", ColumnType::kChar, 10)
+      .Col("l_comment", ColumnType::kVarchar, 44);
+}
+
+void BuildStats(const catalog::Catalog& cat, stats::StatsManager* sm, Rng& rng) {
+  stats::DataGenerator dg;
+  auto set = [&](const char* table, const char* column, Distribution dist,
+                 uint64_t distinct, double lo, double hi) {
+    const catalog::Table* t = cat.FindTable(table);
+    const catalog::ColumnId id{t->id(), t->FindColumn(column)};
+    ColumnDataSpec spec;
+    spec.distribution = dist;
+    spec.distinct = distinct;
+    spec.domain_min = lo;
+    spec.domain_max = hi;
+    sm->SetStats(id, dg.Generate(spec, t->row_count(), rng));
+  };
+  auto key = [&](const char* table, const char* column) {
+    const catalog::Table* t = cat.FindTable(table);
+    const catalog::ColumnId id{t->id(), t->FindColumn(column)};
+    ColumnDataSpec spec;
+    spec.distribution = Distribution::kKey;
+    sm->SetStats(id, dg.Generate(spec, t->row_count(), rng));
+  };
+  auto fk = [&](const char* table, const char* column, const char* ref_table) {
+    const uint64_t ref_rows = cat.FindTable(ref_table)->row_count();
+    set(table, column, Distribution::kUniform, ref_rows, 1.0,
+        static_cast<double>(ref_rows));
+  };
+
+  key("region", "r_regionkey");
+  set("region", "r_name", Distribution::kUniform, 5, 0, 5);
+  key("nation", "n_nationkey");
+  set("nation", "n_name", Distribution::kUniform, 25, 0, 25);
+  set("nation", "n_regionkey", Distribution::kUniform, 5, 0, 4);
+  key("supplier", "s_suppkey");
+  set("supplier", "s_nationkey", Distribution::kUniform, 25, 0, 24);
+  set("supplier", "s_acctbal", Distribution::kUniform, 10000, -999.99, 9999.99);
+  key("customer", "c_custkey");
+  set("customer", "c_nationkey", Distribution::kUniform, 25, 0, 24);
+  set("customer", "c_acctbal", Distribution::kUniform, 10000, -999.99, 9999.99);
+  set("customer", "c_mktsegment", Distribution::kUniform, 5, 0, 5);
+  set("customer", "c_phone", Distribution::kUniform, 100000, 0, 99999);
+  key("part", "p_partkey");
+  set("part", "p_brand", Distribution::kUniform, 25, 0, 25);
+  set("part", "p_type", Distribution::kUniform, 150, 0, 150);
+  set("part", "p_size", Distribution::kUniform, 50, 1, 50);
+  set("part", "p_container", Distribution::kUniform, 40, 0, 40);
+  set("part", "p_retailprice", Distribution::kUniform, 20000, 900, 2100);
+  fk("partsupp", "ps_partkey", "part");
+  fk("partsupp", "ps_suppkey", "supplier");
+  set("partsupp", "ps_availqty", Distribution::kUniform, 9999, 1, 9999);
+  set("partsupp", "ps_supplycost", Distribution::kUniform, 99900, 1, 1000);
+  key("orders", "o_orderkey");
+  fk("orders", "o_custkey", "customer");
+  set("orders", "o_orderstatus", Distribution::kUniform, 3, 0, 3);
+  set("orders", "o_totalprice", Distribution::kGaussian, 100000, 900, 500000);
+  set("orders", "o_orderdate", Distribution::kUniform, 2400, kDateLo, kDateHi);
+  set("orders", "o_orderpriority", Distribution::kUniform, 5, 0, 5);
+  set("orders", "o_shippriority", Distribution::kUniform, 1, 0, 0);
+  fk("lineitem", "l_orderkey", "orders");
+  fk("lineitem", "l_partkey", "part");
+  fk("lineitem", "l_suppkey", "supplier");
+  set("lineitem", "l_linenumber", Distribution::kUniform, 7, 1, 7);
+  set("lineitem", "l_quantity", Distribution::kUniform, 50, 1, 50);
+  set("lineitem", "l_extendedprice", Distribution::kGaussian, 100000, 900, 105000);
+  set("lineitem", "l_discount", Distribution::kUniform, 11, 0.0, 0.10);
+  set("lineitem", "l_tax", Distribution::kUniform, 9, 0.0, 0.08);
+  set("lineitem", "l_returnflag", Distribution::kUniform, 3, 0, 3);
+  set("lineitem", "l_linestatus", Distribution::kUniform, 2, 0, 2);
+  set("lineitem", "l_shipdate", Distribution::kUniform, 2500, kDateLo, kDateHi);
+  set("lineitem", "l_commitdate", Distribution::kUniform, 2450, kDateLo, kDateHi);
+  set("lineitem", "l_receiptdate", Distribution::kUniform, 2500, kDateLo, kDateHi);
+  set("lineitem", "l_shipmode", Distribution::kUniform, 7, 0, 7);
+  set("lineitem", "l_shipinstruct", Distribution::kUniform, 4, 0, 4);
+}
+
+/// A template is a function from an Rng to a SQL instance.
+using TemplateFn = std::function<std::string(Rng&)>;
+
+std::vector<TemplateFn> BuildTemplates() {
+  auto date = [](Rng& rng, double lo_q, double hi_q) {
+    return FormatDate(kDateLo + (kDateHi - kDateLo) * rng.NextDouble(lo_q, hi_q));
+  };
+  auto pick = [](Rng& rng, std::vector<std::string> options) {
+    return options[rng.NextUint64(options.size())];
+  };
+  const std::vector<std::string> kSegments = {"AUTOMOBILE", "BUILDING",
+                                              "FURNITURE", "MACHINERY",
+                                              "HOUSEHOLD"};
+  const std::vector<std::string> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                             "EUROPE", "MIDDLE EAST"};
+  const std::vector<std::string> kNations = {
+      "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+      "FRANCE",  "GERMANY",   "INDIA",  "JAPAN",  "KENYA", "CHINA"};
+  const std::vector<std::string> kModes = {"AIR", "RAIL", "SHIP", "TRUCK",
+                                           "MAIL", "FOB", "REG AIR"};
+  const std::vector<std::string> kPriorities = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                                "4-NOT SPECIFIED", "5-LOW"};
+  const std::vector<std::string> kBrands = {"Brand#11", "Brand#22", "Brand#33",
+                                            "Brand#44", "Brand#55"};
+  const std::vector<std::string> kContainers = {"SM CASE", "MED BOX", "LG JAR",
+                                                "JUMBO PKG", "WRAP BAG"};
+  const std::vector<std::string> kTypes = {"ECONOMY ANODIZED STEEL",
+                                           "STANDARD POLISHED BRASS",
+                                           "PROMO BURNISHED COPPER",
+                                           "MEDIUM PLATED NICKEL"};
+
+  std::vector<TemplateFn> t;
+  // Q1: pricing summary report.
+  t.push_back([=](Rng& rng) {
+    return "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+           "SUM(l_extendedprice), SUM(l_extendedprice * (1 - l_discount)), "
+           "AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) "
+           "FROM lineitem WHERE l_shipdate <= '" + date(rng, 0.85, 0.99) +
+           "' GROUP BY l_returnflag, l_linestatus "
+           "ORDER BY l_returnflag, l_linestatus";
+  });
+  // Q2: minimum cost supplier (flattened).
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr FROM part, "
+        "supplier, partsupp, nation, region WHERE p_partkey = ps_partkey AND "
+        "s_suppkey = ps_suppkey AND p_size = %lld AND s_nationkey = "
+        "n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s' ORDER BY "
+        "s_acctbal DESC LIMIT 100",
+        static_cast<long long>(rng.NextInt(1, 50)),
+        pick(rng, kRegions).c_str());
+  });
+  // Q3: shipping priority.
+  t.push_back([=](Rng& rng) {
+    const std::string d = date(rng, 0.3, 0.5);
+    return "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+           "revenue, o_orderdate, o_shippriority FROM customer, orders, "
+           "lineitem WHERE c_mktsegment = '" + pick(rng, kSegments) +
+           "' AND c_custkey = o_custkey AND l_orderkey = o_orderkey AND "
+           "o_orderdate < '" + d + "' AND l_shipdate > '" + d +
+           "' GROUP BY l_orderkey, o_orderdate, o_shippriority "
+           "ORDER BY revenue DESC, o_orderdate LIMIT 10";
+  });
+  // Q4: order priority checking (real EXISTS form; the binder flattens it
+  // into a semi join).
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.8);
+    return "SELECT o_orderpriority, COUNT(*) FROM orders WHERE "
+           "o_orderdate >= '" + FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND o_orderdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 90) +
+           "' AND EXISTS (SELECT * FROM lineitem WHERE l_orderkey = "
+           "o_orderkey AND l_commitdate < l_receiptdate) "
+           "GROUP BY o_orderpriority ORDER BY o_orderpriority";
+  });
+  // Q5: local supplier volume.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.7);
+    return "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+           "FROM customer, orders, lineitem, supplier, nation, region WHERE "
+           "c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = "
+           "s_suppkey AND c_nationkey = s_nationkey AND s_nationkey = "
+           "n_nationkey AND n_regionkey = r_regionkey AND r_name = '" +
+           pick(rng, kRegions) + "' AND o_orderdate >= '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND o_orderdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 365) +
+           "' GROUP BY n_name ORDER BY revenue DESC";
+  });
+  // Q6: forecasting revenue change.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.7);
+    const double disc = rng.NextDouble(0.02, 0.08);
+    return StrFormat(
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE "
+        "l_shipdate >= '%s' AND l_shipdate < '%s' AND l_discount BETWEEN "
+        "%.2f AND %.2f AND l_quantity < %lld",
+        FormatDate(kDateLo + (kDateHi - kDateLo) * start).c_str(),
+        FormatDate(kDateLo + (kDateHi - kDateLo) * start + 365).c_str(),
+        disc - 0.01, disc + 0.01, static_cast<long long>(rng.NextInt(24, 25)));
+  });
+  // Q7: volume shipping (single nation dimension).
+  t.push_back([=](Rng& rng) {
+    return "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) FROM "
+           "supplier, lineitem, orders, customer, nation WHERE s_suppkey = "
+           "l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey "
+           "AND s_nationkey = n_nationkey AND n_name = '" + pick(rng, kNations) +
+           "' AND l_shipdate BETWEEN '" + date(rng, 0.2, 0.4) + "' AND '" +
+           date(rng, 0.6, 0.9) + "' GROUP BY n_name";
+  });
+  // Q8: national market share.
+  t.push_back([=](Rng& rng) {
+    return "SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) FROM "
+           "part, supplier, lineitem, orders, customer, nation, region WHERE "
+           "p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = "
+           "o_orderkey AND o_custkey = c_custkey AND c_nationkey = "
+           "n_nationkey AND n_regionkey = r_regionkey AND r_name = '" +
+           pick(rng, kRegions) + "' AND o_orderdate BETWEEN '" +
+           date(rng, 0.35, 0.45) + "' AND '" + date(rng, 0.6, 0.7) +
+           "' AND p_type = '" + pick(rng, kTypes) + "' GROUP BY o_orderdate "
+           "ORDER BY o_orderdate";
+  });
+  // Q9: product type profit measure.
+  t.push_back([=](Rng& rng) {
+    return "SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - "
+           "ps_supplycost * l_quantity) AS profit FROM part, supplier, "
+           "lineitem, partsupp, orders, nation WHERE s_suppkey = l_suppkey "
+           "AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND "
+           "p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey "
+           "= n_nationkey AND p_type = '" + pick(rng, kTypes) +
+           "' GROUP BY n_name ORDER BY n_name";
+  });
+  // Q10: returned item reporting.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.2, 0.8);
+    return "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) "
+           "AS revenue, c_acctbal, n_name FROM customer, orders, lineitem, "
+           "nation WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+           "AND o_orderdate >= '" + FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND o_orderdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 90) +
+           "' AND l_returnflag = 'R' AND c_nationkey = n_nationkey GROUP BY "
+           "c_custkey, c_name, c_acctbal, n_name ORDER BY revenue DESC "
+           "LIMIT 20";
+  });
+  // Q11: important stock identification.
+  t.push_back([=](Rng& rng) {
+    return "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS total "
+           "FROM partsupp, supplier, nation WHERE ps_suppkey = s_suppkey AND "
+           "s_nationkey = n_nationkey AND n_name = '" + pick(rng, kNations) +
+           "' GROUP BY ps_partkey ORDER BY total DESC LIMIT 100";
+  });
+  // Q12: shipping modes and order priority.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.8);
+    return "SELECT l_shipmode, COUNT(*) FROM orders, lineitem WHERE "
+           "o_orderkey = l_orderkey AND l_shipmode IN ('" + pick(rng, kModes) +
+           "', '" + pick(rng, kModes) + "') AND l_commitdate < l_receiptdate "
+           "AND l_shipdate < l_commitdate AND l_receiptdate >= '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND l_receiptdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 365) +
+           "' GROUP BY l_shipmode ORDER BY l_shipmode";
+  });
+  // Q13: customer distribution (flattened).
+  t.push_back([=](Rng& rng) {
+    return "SELECT c_custkey, COUNT(o_orderkey) FROM customer, orders WHERE "
+           "c_custkey = o_custkey AND o_orderpriority = '" +
+           pick(rng, kPriorities) + "' GROUP BY c_custkey";
+  });
+  // Q14: promotion effect.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.9);
+    return "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem, "
+           "part WHERE l_partkey = p_partkey AND l_shipdate >= '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND l_shipdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 30) + "'";
+  });
+  // Q15: top supplier.
+  t.push_back([=](Rng& rng) {
+    const double start = rng.NextDouble(0.1, 0.8);
+    return "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+           "total FROM lineitem, supplier WHERE l_suppkey = s_suppkey AND "
+           "l_shipdate >= '" + FormatDate(kDateLo + (kDateHi - kDateLo) * start) +
+           "' AND l_shipdate < '" +
+           FormatDate(kDateLo + (kDateHi - kDateLo) * start + 90) +
+           "' GROUP BY l_suppkey ORDER BY total DESC LIMIT 1";
+  });
+  // Q16: parts/supplier relationship.
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) FROM "
+        "partsupp, part WHERE p_partkey = ps_partkey AND p_brand <> '%s' AND "
+        "p_size IN (%lld, %lld, %lld) GROUP BY p_brand, p_type, p_size ORDER "
+        "BY p_brand",
+        pick(rng, kBrands).c_str(), static_cast<long long>(rng.NextInt(1, 15)),
+        static_cast<long long>(rng.NextInt(16, 30)),
+        static_cast<long long>(rng.NextInt(31, 50)));
+  });
+  // Q17: small-quantity-order revenue.
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT AVG(l_extendedprice) FROM lineitem, part WHERE p_partkey = "
+        "l_partkey AND p_brand = '%s' AND p_container = '%s' AND l_quantity "
+        "< %lld",
+        pick(rng, kBrands).c_str(), pick(rng, kContainers).c_str(),
+        static_cast<long long>(rng.NextInt(2, 8)));
+  });
+  // Q18: large volume customer.
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+        "SUM(l_quantity) FROM customer, orders, lineitem WHERE c_custkey = "
+        "o_custkey AND o_orderkey = l_orderkey AND l_quantity > %lld GROUP BY "
+        "c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice ORDER BY "
+        "o_totalprice DESC, o_orderdate LIMIT 100",
+        static_cast<long long>(rng.NextInt(40, 49)));
+  });
+  // Q19: discounted revenue (disjunctive predicate).
+  t.push_back([=](Rng& rng) {
+    const long long q1 = rng.NextInt(1, 11);
+    const long long q2 = rng.NextInt(10, 21);
+    return StrFormat(
+        "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem, part "
+        "WHERE p_partkey = l_partkey AND l_shipmode IN ('AIR', 'REG AIR') AND "
+        "((p_brand = '%s' AND l_quantity BETWEEN %lld AND %lld) OR (p_brand = "
+        "'%s' AND l_quantity BETWEEN %lld AND %lld))",
+        pick(rng, kBrands).c_str(), q1, q1 + 10, pick(rng, kBrands).c_str(), q2,
+        q2 + 10);
+  });
+  // Q20: potential part promotion (real IN-subquery form).
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT s_name, s_address FROM supplier, nation WHERE s_suppkey IN "
+        "(SELECT ps_suppkey FROM partsupp WHERE ps_availqty > %lld) AND "
+        "s_nationkey = n_nationkey AND n_name = '%s' ORDER BY s_name",
+        static_cast<long long>(rng.NextInt(5000, 9500)),
+        pick(rng, kNations).c_str());
+  });
+  // Q21: suppliers who kept orders waiting (EXISTS form on orders).
+  t.push_back([=](Rng& rng) {
+    return "SELECT s_name, COUNT(*) AS numwait FROM supplier, lineitem, "
+           "nation WHERE s_suppkey = l_suppkey AND l_receiptdate > "
+           "l_commitdate AND s_nationkey = n_nationkey AND n_name = '" +
+           pick(rng, kNations) + "' AND EXISTS (SELECT * FROM orders WHERE "
+           "o_orderkey = l_orderkey AND o_orderstatus = 'F') "
+           "GROUP BY s_name ORDER BY numwait DESC LIMIT 100";
+  });
+  // Q22: global sales opportunity (flattened).
+  t.push_back([=](Rng& rng) {
+    return StrFormat(
+        "SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer WHERE "
+        "c_acctbal > %.2f AND c_nationkey IN (%lld, %lld, %lld) GROUP BY "
+        "c_nationkey ORDER BY c_nationkey",
+        rng.NextDouble(0.0, 8000.0), static_cast<long long>(rng.NextInt(0, 7)),
+        static_cast<long long>(rng.NextInt(8, 15)),
+        static_cast<long long>(rng.NextInt(16, 24)));
+  });
+  return t;
+}
+
+}  // namespace
+
+GeneratedWorkload MakeTpch(const GeneratorOptions& options) {
+  GeneratedWorkload out;
+  out.name = "TPC-H";
+  out.catalog = std::make_unique<catalog::Catalog>();
+  const double sf = 10.0 * options.scale;
+  BuildSchema(out.catalog.get(), sf);
+
+  Rng rng(options.seed);
+  out.stats = std::make_unique<stats::StatsManager>(out.catalog.get());
+  Rng stats_rng = rng.Fork(1);
+  BuildStats(*out.catalog, out.stats.get(), stats_rng);
+  out.cost_model =
+      std::make_unique<engine::CostModel>(out.catalog.get(), out.stats.get());
+
+  out.workload = std::make_unique<Workload>(Workload::Environment{
+      out.catalog.get(), out.stats.get(), out.cost_model.get()});
+
+  std::vector<TemplateFn> templates = BuildTemplates();
+  if (options.max_templates > 0 &&
+      static_cast<size_t>(options.max_templates) < templates.size()) {
+    templates.resize(static_cast<size_t>(options.max_templates));
+  }
+  const int instances =
+      options.instances_per_template > 0 ? options.instances_per_template : 100;
+  const std::vector<int> counts = SkewedInstanceCounts(
+      templates.size(), instances, options.instance_skew);
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    Rng template_rng = rng.Fork(100 + ti);
+    for (int i = 0; i < counts[ti]; ++i) {
+      const std::string sql = templates[ti](template_rng);
+      const Status st = out.workload->AddQuery(sql, StrFormat("Q%zu", ti + 1));
+      // Generator templates are tested; a failure here is a bug.
+      if (!st.ok()) {
+        std::fprintf(stderr, "TPC-H template %zu failed: %s\nSQL: %s\n", ti + 1,
+                     st.ToString().c_str(), sql.c_str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace isum::workload

@@ -1,0 +1,47 @@
+#include "workload/query_store.h"
+
+#include "common/jsonl.h"
+#include "common/string_util.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace isum::workload {
+
+std::string JsonEscape(const std::string& raw) { return isum::JsonEscape(raw); }
+
+StatusOr<std::string> JsonUnescape(const std::string& escaped) {
+  return isum::JsonUnescape(escaped);
+}
+
+std::string SaveQueryStore(const Workload& workload) {
+  std::string out;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const QueryInfo& q = workload.query(i);
+    out += StrFormat("{\"sql\": \"%s\", \"cost\": %.6f, \"tag\": \"%s\"}\n",
+                     isum::JsonEscape(q.sql).c_str(), q.base_cost,
+                     isum::JsonEscape(q.tag).c_str());
+  }
+  return out;
+}
+
+StatusOr<int> LoadQueryStore(const std::string& jsonl, Workload* workload) {
+  int loaded = 0;
+  sql::Binder binder(workload->env().catalog, workload->env().stats);
+  for (const std::string& line : Split(jsonl, '\n')) {
+    if (Trim(line).empty()) continue;
+    ISUM_ASSIGN_OR_RETURN(std::string sql, JsonExtractString(line, "sql"));
+    ISUM_ASSIGN_OR_RETURN(double cost, JsonExtractNumber(line, "cost"));
+    std::string tag;
+    if (JsonHasKey(line, "tag")) {
+      ISUM_ASSIGN_OR_RETURN(tag, JsonExtractString(line, "tag"));
+    }
+    ISUM_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
+    ISUM_ASSIGN_OR_RETURN(sql::BoundQuery bound, binder.Bind(stmt, sql));
+    workload->AddBoundQuery(std::move(bound), std::move(sql), cost,
+                            std::move(tag));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace isum::workload

@@ -1,0 +1,38 @@
+#include "workload/workload_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace isum::workload {
+
+std::vector<int> SkewedInstanceCounts(size_t num_templates, int base,
+                                      double skew) {
+  std::vector<int> counts(num_templates, std::max(1, base));
+  if (skew <= 0.0 || num_templates == 0) return counts;
+  double norm = 0.0;
+  for (size_t i = 0; i < num_templates; ++i) {
+    norm += std::pow(static_cast<double>(i + 1), -skew);
+  }
+  const double total = static_cast<double>(std::max(1, base)) *
+                       static_cast<double>(num_templates);
+  for (size_t i = 0; i < num_templates; ++i) {
+    const double share = std::pow(static_cast<double>(i + 1), -skew) / norm;
+    counts[i] = std::max(1, static_cast<int>(std::llround(total * share)));
+  }
+  return counts;
+}
+
+GeneratedWorkload MakeWorkloadByName(const std::string& name,
+                                     const GeneratorOptions& options) {
+  const std::string lower = ToLower(name);
+  if (lower == "tpch" || lower == "tpc-h") return MakeTpch(options);
+  if (lower == "tpcds" || lower == "tpc-ds") return MakeTpcds(options);
+  if (lower == "dsb") return MakeDsb(options);
+  if (lower == "realm" || lower == "real-m") return MakeRealM(options);
+  // Default to TPC-H for unknown names.
+  return MakeTpch(options);
+}
+
+}  // namespace isum::workload

@@ -1,0 +1,71 @@
+#ifndef ISUM_WORKLOAD_WORKLOAD_FACTORY_H_
+#define ISUM_WORKLOAD_WORKLOAD_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace isum::workload {
+
+/// Knobs shared by all workload generators.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  /// Scales table row counts relative to the paper's configuration (sf=10 or
+  /// the Real-M sizes). Row counts only change cost magnitudes, never
+  /// algorithm runtimes, so 1.0 is fine even for quick runs.
+  double scale = 1.0;
+  /// Query instances per template; 0 picks the benchmark's paper default
+  /// (TPC-H 100, TPC-DS 100, DSB 10, Real-M ~1).
+  int instances_per_template = 0;
+  /// Caps the number of templates used (0 = all). Lets benches subsample.
+  int max_templates = 0;
+  /// Zipf exponent skewing instance counts across templates (0 = every
+  /// template gets the same count). With skew > 0 a few templates dominate
+  /// the workload — the regime where query weighing matters (§7).
+  double instance_skew = 0.0;
+};
+
+/// Per-template instance counts averaging `base` per template, zipf-skewed
+/// by `skew` (all equal when skew == 0); every template gets at least 1.
+std::vector<int> SkewedInstanceCounts(size_t num_templates, int base,
+                                      double skew);
+
+/// A self-contained generated benchmark environment: the Workload plus the
+/// catalog/statistics/cost-model it is bound against (owned here; the
+/// Workload's Environment points into these members).
+struct GeneratedWorkload {
+  std::unique_ptr<catalog::Catalog> catalog;
+  std::unique_ptr<stats::StatsManager> stats;
+  std::unique_ptr<engine::CostModel> cost_model;
+  std::unique_ptr<Workload> workload;
+  std::string name;
+};
+
+/// TPC-H-like: 8 tables, 22 hand-written templates matching the TPC-H query
+/// shapes (paper row: 2200 queries / 22 templates / 8 tables at sf=10).
+GeneratedWorkload MakeTpch(const GeneratorOptions& options = {});
+
+/// TPC-DS-like: 24-table star/snowflake schema, 91 procedurally generated
+/// templates (paper row: 9100 / 91 / 24).
+GeneratedWorkload MakeTpcds(const GeneratorOptions& options = {});
+
+/// Which DSB query classes to include (Figure 12 filters by class).
+enum class DsbClass { kAll, kSpj, kAggregate, kComplex };
+
+/// DSB-like: TPC-DS schema with zipf-skewed data and 52 templates tagged
+/// SPJ / Aggregate / Complex (paper row: 520 / 52 / 24).
+GeneratedWorkload MakeDsb(const GeneratorOptions& options = {},
+                          DsbClass query_class = DsbClass::kAll);
+
+/// Real-M-like: a synthesized enterprise schema of 474 tables with 456
+/// nearly unique templates and heavy cost skew (paper row: 473 / 456 / 474).
+GeneratedWorkload MakeRealM(const GeneratorOptions& options = {});
+
+/// Dispatch by name ("tpch", "tpcds", "dsb", "realm").
+GeneratedWorkload MakeWorkloadByName(const std::string& name,
+                                     const GeneratorOptions& options = {});
+
+}  // namespace isum::workload
+
+#endif  // ISUM_WORKLOAD_WORKLOAD_FACTORY_H_

@@ -1,0 +1,167 @@
+// Tests for the baseline compressors (§8 of the paper): Uniform, Cost,
+// Stratified, GSUM and k-medoid.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "baselines/gsum.h"
+#include "baselines/kmedoid.h"
+#include "baselines/simple.h"
+#include "workload/workload_factory.h"
+
+namespace isum::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 3;
+    env_ = workload::MakeTpch(gen);
+  }
+
+  const workload::Workload& W() { return *env_->workload; }
+
+  void ExpectValidCompression(const workload::CompressedWorkload& c, size_t k) {
+    ASSERT_EQ(c.size(), k);
+    std::set<size_t> uniq;
+    double total = 0.0;
+    for (const auto& e : c.entries) {
+      EXPECT_LT(e.query_index, W().size());
+      uniq.insert(e.query_index);
+      EXPECT_GE(e.weight, 0.0);
+      total += e.weight;
+    }
+    EXPECT_EQ(uniq.size(), k) << "duplicate selections";
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+
+  std::optional<workload::GeneratedWorkload> env_;
+};
+
+TEST_F(BaselinesTest, UniformSamplesKDistinct) {
+  UniformSamplingCompressor uniform(17);
+  ExpectValidCompression(uniform.Compress(W(), 12), 12);
+}
+
+TEST_F(BaselinesTest, UniformDeterministicPerSeed) {
+  UniformSamplingCompressor a(5), b(5), c(6);
+  const auto ca = a.Compress(W(), 8);
+  const auto cb = b.Compress(W(), 8);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.entries.size(); ++i) {
+    EXPECT_EQ(ca.entries[i].query_index, cb.entries[i].query_index);
+  }
+  const auto cc = c.Compress(W(), 8);
+  bool differs = false;
+  for (size_t i = 0; i < ca.entries.size(); ++i) {
+    differs |= ca.entries[i].query_index != cc.entries[i].query_index;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(BaselinesTest, TopCostPicksMostExpensive) {
+  TopCostCompressor cost;
+  const auto c = cost.Compress(W(), 5);
+  ExpectValidCompression(c, 5);
+  // Every selected query must cost at least as much as every unselected one.
+  double min_selected = 1e300;
+  std::set<size_t> selected;
+  for (const auto& e : c.entries) {
+    selected.insert(e.query_index);
+    min_selected = std::min(min_selected, W().query(e.query_index).base_cost);
+  }
+  for (size_t i = 0; i < W().size(); ++i) {
+    if (!selected.contains(i)) {
+      EXPECT_LE(W().query(i).base_cost, min_selected + 1e-9);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, StratifiedCoversTemplatesEvenly) {
+  StratifiedCompressor stratified(3);
+  // k = 22 with 22 templates: exactly one instance per template.
+  const auto c = stratified.Compress(W(), 22);
+  ExpectValidCompression(c, 22);
+  std::set<uint64_t> templates;
+  for (const auto& e : c.entries) {
+    templates.insert(W().query(e.query_index).template_hash);
+  }
+  EXPECT_EQ(templates.size(), 22u);
+}
+
+TEST_F(BaselinesTest, StratifiedSecondRoundRevisitsTemplates) {
+  StratifiedCompressor stratified(3);
+  const auto c = stratified.Compress(W(), 44);
+  ExpectValidCompression(c, 44);
+  std::map<uint64_t, int> per_template;
+  for (const auto& e : c.entries) {
+    per_template[W().query(e.query_index).template_hash]++;
+  }
+  for (const auto& [hash, count] : per_template) EXPECT_EQ(count, 2);
+}
+
+TEST_F(BaselinesTest, GsumSelectsAndWeighs) {
+  GsumCompressor gsum;
+  ExpectValidCompression(gsum.Compress(W(), 10), 10);
+}
+
+TEST_F(BaselinesTest, GsumPrefersCoverage) {
+  // GSUM's first pick should touch many frequent columns; compare its column
+  // footprint against the minimum across the workload.
+  GsumCompressor gsum(1.0);  // pure coverage
+  const auto c = gsum.Compress(W(), 1);
+  ASSERT_EQ(c.size(), 1u);
+  const size_t picked = c.entries[0].query_index;
+  size_t min_cols = 1000, picked_cols =
+      W().query(picked).bound.ReferencedColumns().size();
+  for (size_t i = 0; i < W().size(); ++i) {
+    min_cols = std::min(min_cols, W().query(i).bound.ReferencedColumns().size());
+  }
+  EXPECT_GT(picked_cols, min_cols);
+}
+
+TEST_F(BaselinesTest, KMedoidConvergesAndWeighsByClusterSize) {
+  KMedoidCompressor kmedoid(11);
+  const auto c = kmedoid.Compress(W(), 6);
+  ExpectValidCompression(c, 6);
+}
+
+TEST_F(BaselinesTest, KMedoidMedoidsAreClusterMembers) {
+  // With 3 instances per template and k = #templates, medoids should land
+  // one per template for most clusters (similar instances cluster together).
+  KMedoidCompressor kmedoid(11);
+  const auto c = kmedoid.Compress(W(), 22);
+  std::set<uint64_t> templates;
+  for (const auto& e : c.entries) {
+    templates.insert(W().query(e.query_index).template_hash);
+  }
+  EXPECT_GE(templates.size(), 15u);
+}
+
+TEST_F(BaselinesTest, AllBaselinesHandleKEqualsN) {
+  const size_t n = W().size();
+  UniformSamplingCompressor uniform(1);
+  TopCostCompressor cost;
+  StratifiedCompressor stratified(1);
+  GsumCompressor gsum;
+  KMedoidCompressor kmedoid(1, 5);
+  for (Compressor* c : std::initializer_list<Compressor*>{
+           &uniform, &cost, &stratified, &gsum, &kmedoid}) {
+    const auto compressed = c->Compress(W(), n);
+    EXPECT_EQ(compressed.size(), n) << c->name();
+  }
+}
+
+TEST_F(BaselinesTest, NamesAreStable) {
+  EXPECT_EQ(UniformSamplingCompressor().name(), "Uniform");
+  EXPECT_EQ(TopCostCompressor().name(), "Cost");
+  EXPECT_EQ(StratifiedCompressor().name(), "Stratified");
+  EXPECT_EQ(GsumCompressor().name(), "GSUM");
+  EXPECT_EQ(KMedoidCompressor().name(), "k-medoid");
+}
+
+}  // namespace
+}  // namespace isum::baselines

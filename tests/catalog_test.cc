@@ -1,0 +1,124 @@
+// Unit tests for src/catalog: tables, columns, resolution, sizes.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema_builder.h"
+
+namespace isum::catalog {
+namespace {
+
+TEST(Catalog, CreateAndFindTable) {
+  Catalog cat;
+  auto t = cat.CreateTable("Orders", 1000);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->id(), 0);
+  EXPECT_NE(cat.FindTable("orders"), nullptr);  // case-insensitive
+  EXPECT_NE(cat.FindTable("ORDERS"), nullptr);
+  EXPECT_EQ(cat.FindTable("missing"), nullptr);
+}
+
+TEST(Catalog, DuplicateTableRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", 1).ok());
+  EXPECT_EQ(cat.CreateTable("T", 1).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, DuplicateColumnRejected) {
+  Catalog cat;
+  Table* t = cat.CreateTable("t", 1).value();
+  Column c;
+  c.name = "a";
+  ASSERT_TRUE(t->AddColumn(c).ok());
+  Column c2;
+  c2.name = "A";
+  EXPECT_EQ(t->AddColumn(c2).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, ColumnOrdinalsAreDense) {
+  Catalog cat;
+  Table* t = cat.CreateTable("t", 1).value();
+  for (const char* name : {"a", "b", "c"}) {
+    Column c;
+    c.name = name;
+    EXPECT_TRUE(t->AddColumn(c).ok());
+  }
+  EXPECT_EQ(t->FindColumn("a"), 0);
+  EXPECT_EQ(t->FindColumn("c"), 2);
+  EXPECT_EQ(t->FindColumn("z"), -1);
+}
+
+TEST(Catalog, ResolveQualifiedAndUnqualified) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("t1", 10).Col("shared", ColumnType::kInt).Col("only1", ColumnType::kInt);
+  b.Table("t2", 10).Col("shared", ColumnType::kInt).Col("only2", ColumnType::kInt);
+
+  EXPECT_TRUE(cat.ResolveColumn("t1", "shared").valid());
+  EXPECT_TRUE(cat.ResolveColumn("", "only2").valid());
+  // Ambiguous unqualified reference resolves to invalid.
+  EXPECT_FALSE(cat.ResolveColumn("", "shared").valid());
+  EXPECT_FALSE(cat.ResolveColumn("t3", "shared").valid());
+  EXPECT_FALSE(cat.ResolveColumn("t1", "only2").valid());
+}
+
+TEST(Catalog, RowWidthAndPages) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("wide", 8192)
+      .Col("a", ColumnType::kBigInt)    // 8
+      .Col("b", ColumnType::kInt)       // 4
+      .Col("c", ColumnType::kChar, 20); // 20
+  const Table* t = cat.FindTable("wide");
+  // 16 bytes row overhead + 32 bytes data.
+  EXPECT_EQ(t->row_width_bytes(), 48);
+  EXPECT_EQ(t->data_pages(), 8192u * 48u / 8192u + 1);
+}
+
+TEST(Catalog, TotalDataBytesSums) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("a", 100).Col("x", ColumnType::kInt);
+  b.Table("bb", 200).Col("x", ColumnType::kInt);
+  EXPECT_EQ(cat.total_data_bytes(), 100u * 20u + 200u * 20u);
+}
+
+TEST(Catalog, ColumnDebugName) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("orders", 10).Col("o_id", ColumnType::kInt);
+  const ColumnId id = cat.ResolveColumn("orders", "o_id");
+  EXPECT_EQ(cat.ColumnDebugName(id), "orders.o_id");
+  EXPECT_EQ(cat.ColumnDebugName(ColumnId{}), "<invalid>");
+}
+
+TEST(Catalog, DefaultWidths) {
+  EXPECT_EQ(DefaultWidthBytes(ColumnType::kInt, 0), 4);
+  EXPECT_EQ(DefaultWidthBytes(ColumnType::kBigInt, 0), 8);
+  EXPECT_EQ(DefaultWidthBytes(ColumnType::kChar, 25), 25);
+  // Varchars assumed half full plus length header.
+  EXPECT_EQ(DefaultWidthBytes(ColumnType::kVarchar, 40), 22);
+  EXPECT_EQ(DefaultWidthBytes(ColumnType::kDate, 0), 4);
+}
+
+TEST(ColumnId, OrderingAndHash) {
+  ColumnId a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ColumnId{1, 2}));
+  std::hash<ColumnId> h;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Catalog, KeyColumnsMarked) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("t", 10).Key("pk", ColumnType::kInt).Col("v", ColumnType::kInt);
+  const Table* t = cat.FindTable("t");
+  EXPECT_TRUE(t->column(0).is_key);
+  EXPECT_FALSE(t->column(1).is_key);
+}
+
+}  // namespace
+}  // namespace isum::catalog

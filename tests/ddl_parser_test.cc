@@ -1,0 +1,86 @@
+// Tests for the CREATE TABLE schema frontend.
+
+#include <gtest/gtest.h>
+
+#include "sql/ddl_parser.h"
+
+namespace isum::sql {
+namespace {
+
+TEST(DdlParser, ParsesMultipleTables) {
+  catalog::Catalog cat;
+  auto n = ParseSchema(
+      "CREATE TABLE a (x INT PRIMARY KEY, y VARCHAR(10)) WITH (ROWS = 500);"
+      "-- a comment\n"
+      "CREATE TABLE b (z BIGINT NOT NULL, w DECIMAL(10, 2));",
+      &cat);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2);
+  const catalog::Table* a = cat.FindTable("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->row_count(), 500u);
+  EXPECT_TRUE(a->column(0).is_key);
+  EXPECT_EQ(a->column(1).type, catalog::ColumnType::kVarchar);
+  const catalog::Table* b = cat.FindTable("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->row_count(), 1000u);  // default rows
+  EXPECT_EQ(b->column(0).type, catalog::ColumnType::kBigInt);
+  EXPECT_EQ(b->column(1).type, catalog::ColumnType::kDecimal);
+}
+
+TEST(DdlParser, AllTypeSpellings) {
+  catalog::Catalog cat;
+  auto n = ParseSchema(
+      "CREATE TABLE t (a INTEGER, b BIGINT, c DOUBLE, d FLOAT, e REAL, "
+      "f NUMERIC(8, 3), g CHAR(5), h TEXT, i DATE, j TIMESTAMP, k BOOLEAN, "
+      "l BOOL UNIQUE)",
+      &cat);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  const catalog::Table* t = cat.FindTable("t");
+  EXPECT_EQ(t->column(0).type, catalog::ColumnType::kInt);
+  EXPECT_EQ(t->column(2).type, catalog::ColumnType::kDouble);
+  EXPECT_EQ(t->column(5).type, catalog::ColumnType::kDecimal);
+  EXPECT_EQ(t->column(6).type, catalog::ColumnType::kChar);
+  EXPECT_EQ(t->column(6).width_bytes, 5);
+  EXPECT_EQ(t->column(7).type, catalog::ColumnType::kVarchar);
+  EXPECT_EQ(t->column(8).type, catalog::ColumnType::kDate);
+  EXPECT_EQ(t->column(9).type, catalog::ColumnType::kDate);
+  EXPECT_EQ(t->column(10).type, catalog::ColumnType::kBool);
+  EXPECT_TRUE(t->column(11).is_key);  // UNIQUE
+}
+
+TEST(DdlParser, SchemaUsableForBinding) {
+  catalog::Catalog cat;
+  ASSERT_TRUE(ParseSchema("CREATE TABLE t (id INT PRIMARY KEY, v INT) "
+                          "WITH (ROWS = 100000)",
+                          &cat)
+                  .ok());
+  EXPECT_EQ(cat.FindTable("t")->row_count(), 100000u);
+  EXPECT_TRUE(cat.ResolveColumn("t", "v").valid());
+}
+
+class DdlErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DdlErrors, Rejected) {
+  catalog::Catalog cat;
+  EXPECT_FALSE(ParseSchema(GetParam(), &cat).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadDdl, DdlErrors,
+    ::testing::Values("CREATE t (x INT)", "CREATE TABLE (x INT)",
+                      "CREATE TABLE t (x WIBBLE)", "CREATE TABLE t (x INT",
+                      "CREATE TABLE t (x INT) WITH (ROWS 5)",
+                      "CREATE TABLE t (x INT PRIMARY)",
+                      "CREATE TABLE t (x INT, x INT)",
+                      "CREATE TABLE t (x INT); CREATE TABLE t (y INT)"));
+
+TEST(DdlParser, EmptyScriptIsZeroTables) {
+  catalog::Catalog cat;
+  auto n = ParseSchema("  -- nothing here\n", &cat);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+}
+
+}  // namespace
+}  // namespace isum::sql

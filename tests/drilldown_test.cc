@@ -1,0 +1,145 @@
+// Tests for the drill-down reporting extension (§10 interpretability).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "eval/drilldown.h"
+#include "eval/pipeline.h"
+#include "workload/workload_factory.h"
+
+namespace isum::eval {
+namespace {
+
+class DrilldownTest : public ::testing::Test {
+ protected:
+  DrilldownTest() {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 3;
+    env_ = workload::MakeTpch(gen);
+    compressed_ = core::Isum(env_->workload.get()).Compress(6);
+    advisor::TuningOptions tuning;
+    tuning.max_indexes = 10;
+    result_ = RunPipeline(*env_->workload, compressed_,
+                          MakeDtaTuner(*env_->workload, tuning), "ISUM");
+  }
+
+  const workload::Workload& W() { return *env_->workload; }
+
+  std::optional<workload::GeneratedWorkload> env_;
+  workload::CompressedWorkload compressed_;
+  EvaluationResult result_;
+};
+
+TEST_F(DrilldownTest, EntriesMatchCompressedWorkload) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  ASSERT_EQ(report.entries.size(), compressed_.size());
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    EXPECT_EQ(report.entries[i].query_index,
+              compressed_.entries[i].query_index);
+    EXPECT_DOUBLE_EQ(report.entries[i].weight, compressed_.entries[i].weight);
+  }
+}
+
+TEST_F(DrilldownTest, CostsConsistentWithConfiguration) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  for (const DrilldownEntry& entry : report.entries) {
+    EXPECT_GT(entry.cost_before, 0.0);
+    EXPECT_LE(entry.cost_after, entry.cost_before + 1e-6);
+  }
+  EXPECT_GE(report.compressed_improvement_percent, 0.0);
+  EXPECT_LE(report.compressed_improvement_percent, 100.0);
+}
+
+TEST_F(DrilldownTest, EveryInputQueryAssignedOrUnrepresented) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  std::set<size_t> accounted;
+  for (const auto& entry : report.entries) {
+    accounted.insert(entry.query_index);
+    for (const auto& rep : entry.represents) {
+      EXPECT_TRUE(accounted.insert(rep.query_index).second)
+          << "query assigned twice";
+      EXPECT_GT(rep.similarity, 0.0);
+      EXPECT_LE(rep.similarity, 1.0);
+    }
+  }
+  for (size_t q : report.unrepresented) {
+    EXPECT_TRUE(accounted.insert(q).second);
+  }
+  EXPECT_EQ(accounted.size(), W().size());
+}
+
+TEST_F(DrilldownTest, SameTemplateInstancesFollowTheirRepresentative) {
+  // Instances sharing a template with a selected query must be assigned to
+  // it with very high similarity (identical features).
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  for (const auto& entry : report.entries) {
+    const uint64_t tmpl = W().query(entry.query_index).template_hash;
+    for (const auto& rep : entry.represents) {
+      if (W().query(rep.query_index).template_hash == tmpl) {
+        EXPECT_GT(rep.similarity, 0.9);
+      }
+    }
+  }
+}
+
+TEST_F(DrilldownTest, RepresentsSortedBySimilarity) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  for (const auto& entry : report.entries) {
+    for (size_t i = 1; i < entry.represents.size(); ++i) {
+      EXPECT_GE(entry.represents[i - 1].similarity,
+                entry.represents[i].similarity);
+    }
+  }
+}
+
+TEST_F(DrilldownTest, IndexesUsedComeFromConfiguration) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  std::set<std::string> config_names;
+  for (const engine::Index& index : result_.tuning.configuration.indexes()) {
+    config_names.insert(index.DebugName(*env_->catalog));
+  }
+  bool any_used = false;
+  for (const auto& entry : report.entries) {
+    for (const std::string& name : entry.indexes_used) {
+      EXPECT_TRUE(config_names.contains(name)) << name;
+      any_used = true;
+    }
+  }
+  EXPECT_TRUE(any_used);
+}
+
+TEST_F(DrilldownTest, TextRenderingMentionsKeyFacts) {
+  const DrilldownReport report =
+      BuildDrilldown(W(), compressed_, result_.tuning.configuration);
+  const std::string text = report.ToString(W());
+  EXPECT_NE(text.find("Drill-down"), std::string::npos);
+  EXPECT_NE(text.find("represents"), std::string::npos);
+  EXPECT_NE(text.find("uses:"), std::string::npos);
+}
+
+TEST_F(DrilldownTest, HighThresholdLeavesQueriesUnrepresented) {
+  const DrilldownReport strict = BuildDrilldown(
+      W(), compressed_, result_.tuning.configuration, /*min_similarity=*/0.99);
+  const DrilldownReport lax = BuildDrilldown(
+      W(), compressed_, result_.tuning.configuration, /*min_similarity=*/0.0);
+  EXPECT_GT(strict.unrepresented.size(), 0u);
+  EXPECT_GE(strict.unrepresented.size(), lax.unrepresented.size());
+}
+
+TEST_F(DrilldownTest, EmptyCompressedWorkloadYieldsEmptyReport) {
+  const DrilldownReport report = BuildDrilldown(
+      W(), workload::CompressedWorkload{}, result_.tuning.configuration);
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_TRUE(report.unrepresented.empty());
+}
+
+}  // namespace
+}  // namespace isum::eval

@@ -1,0 +1,205 @@
+// Tests for the execution substrate (materialization, index lookups, plan
+// execution) and its calibration properties against the cost model.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "common/math_util.h"
+#include "advisor/advisor.h"
+#include "engine/what_if.h"
+#include "exec/executor.h"
+#include "workload/workload_factory.h"
+
+namespace isum::exec {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 1;
+    gen.scale = 0.002;  // tiny fact tables for execution
+    env_ = workload::MakeTpch(gen);
+    db_.emplace(env_->catalog.get(), env_->stats.get());
+    db_->MaterializeAll(/*max_rows_per_table=*/20'000, /*seed=*/5);
+  }
+
+  const workload::Workload& W() { return *env_->workload; }
+
+  engine::PlanSummary PlanOf(size_t i, const engine::Configuration& config) {
+    engine::Optimizer opt(env_->cost_model.get());
+    return opt.Optimize(W().query(i).bound, config);
+  }
+
+  std::optional<workload::GeneratedWorkload> env_;
+  std::optional<Database> db_;
+};
+
+TEST_F(ExecTest, MaterializationMatchesCatalogShapes) {
+  for (size_t t = 0; t < env_->catalog->num_tables(); ++t) {
+    const catalog::TableId id = static_cast<catalog::TableId>(t);
+    const TableData& data = db_->table(id);
+    const catalog::Table& meta = env_->catalog->table(id);
+    EXPECT_EQ(data.num_columns(), meta.columns().size());
+    EXPECT_EQ(data.num_rows(), std::min<uint64_t>(20'000, meta.row_count()));
+  }
+}
+
+TEST_F(ExecTest, KeyColumnsAreDenseUnique) {
+  const catalog::Table* nation = env_->catalog->FindTable("nation");
+  const TableData& data = db_->table(nation->id());
+  std::set<double> values;
+  for (size_t r = 0; r < data.num_rows(); ++r) values.insert(data.Value(0, r));
+  EXPECT_EQ(values.size(), data.num_rows());
+  EXPECT_EQ(*values.begin(), 1.0);
+  EXPECT_EQ(*values.rbegin(), static_cast<double>(data.num_rows()));
+}
+
+TEST_F(ExecTest, MaterializedSelectivityTracksStatistics) {
+  // Fraction of lineitem rows with l_shipdate <= median should be ~50%.
+  const catalog::Table* lineitem = env_->catalog->FindTable("lineitem");
+  const catalog::ColumnId shipdate =
+      env_->catalog->ResolveColumn("lineitem", "l_shipdate");
+  const double median = env_->stats->ValueAtQuantile(shipdate, 0.5);
+  const TableData& data = db_->table(lineitem->id());
+  size_t below = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    below += (data.Value(shipdate.column, r) <= median);
+  }
+  EXPECT_NEAR(static_cast<double>(below) / data.num_rows(), 0.5, 0.06);
+}
+
+TEST_F(ExecTest, IndexLookupMatchesLinearScan) {
+  const catalog::Table* orders = env_->catalog->FindTable("orders");
+  const catalog::ColumnId odate =
+      env_->catalog->ResolveColumn("orders", "o_orderdate");
+  engine::Index index(orders->id(), {odate});
+  const IndexData& idx = db_->GetIndex(index);
+  const TableData& data = db_->table(orders->id());
+
+  const double lo = env_->stats->ValueAtQuantile(odate, 0.3);
+  const double hi = env_->stats->ValueAtQuantile(odate, 0.4);
+  uint64_t touched = 0;
+  const std::vector<uint32_t> via_index = idx.LookupRange(lo, hi, &touched);
+  size_t via_scan = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    const double v = data.Value(odate.column, r);
+    via_scan += (v >= lo && v <= hi);
+  }
+  EXPECT_EQ(via_index.size(), via_scan);
+  EXPECT_GT(touched, 0u);
+  EXPECT_LT(touched, data.num_rows());  // seek touched far fewer than all
+}
+
+TEST_F(ExecTest, ExecutionOutputTracksEstimatedCardinality) {
+  Executor executor(&*db_);
+  int within = 0, total = 0;
+  for (size_t i = 0; i < W().size(); ++i) {
+    const engine::PlanSummary plan = PlanOf(i, engine::Configuration());
+    const ExecutionResult run = executor.Execute(W().query(i).bound, plan);
+    if (run.truncated) continue;
+    ++total;
+    // Loose band: estimates within ~30x of executed output for most queries
+    // (estimation error compounds across joins).
+    const double est = std::max(1.0, plan.output_rows);
+    const double act = std::max(1.0, run.output_rows);
+    if (est / act < 30.0 && act / est < 30.0) ++within;
+  }
+  EXPECT_GT(total, 15);
+  EXPECT_GT(within * 10, total * 6);  // >60%
+}
+
+TEST_F(ExecTest, EstimatedCostCorrelatesWithExecutedWork) {
+  Executor executor(&*db_);
+  std::vector<double> est_cost, work;
+  for (size_t i = 0; i < W().size(); ++i) {
+    const engine::PlanSummary plan = PlanOf(i, engine::Configuration());
+    const ExecutionResult run = executor.Execute(W().query(i).bound, plan);
+    if (run.truncated) continue;
+    est_cost.push_back(plan.total_cost);
+    work.push_back(static_cast<double>(run.row_ops));
+  }
+  // Rank correlation: cheap queries execute less work, expensive ones more.
+  EXPECT_GT(SpearmanCorrelation(est_cost, work), 0.55);
+}
+
+TEST_F(ExecTest, IndexSeekExecutesLessWorkThanScan) {
+  // Find a single-table query with a selective sargable filter and compare
+  // executed work with and without its best index.
+  Executor executor(&*db_);
+  advisor::TuningOptions unused;
+  (void)unused;
+  int checked = 0;
+  for (size_t i = 0; i < W().size() && checked < 4; ++i) {
+    const sql::BoundQuery& q = W().query(i).bound;
+    if (q.tables.size() != 1 || q.filters.empty()) continue;
+
+    const engine::PlanSummary scan_plan = PlanOf(i, engine::Configuration());
+    // Index on the most selective sargable filter column.
+    const sql::FilterPredicate* best = nullptr;
+    for (const auto& f : q.filters) {
+      if (f.sargable && (best == nullptr || f.selectivity < best->selectivity)) {
+        best = &f;
+      }
+    }
+    if (best == nullptr || best->selectivity > 0.5) continue;
+    // A covering index (all referenced columns included) so the optimizer
+    // can accept the seek even at moderate selectivity.
+    std::vector<catalog::ColumnId> includes;
+    for (catalog::ColumnId c : q.ReferencedColumns()) {
+      if (c != best->column) includes.push_back(c);
+    }
+    engine::Configuration config;
+    config.Add(engine::Index(best->column.table, {best->column}, includes));
+    const engine::PlanSummary seek_plan = PlanOf(i, config);
+    if (seek_plan.tables[0].access.index == nullptr) continue;
+
+    const uint64_t scan_work =
+        executor.Execute(q, scan_plan).row_ops;
+    const uint64_t seek_work = executor.Execute(q, seek_plan).row_ops;
+    EXPECT_LT(seek_work, scan_work) << W().query(i).sql;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(ExecTest, RecommendedConfigurationReducesExecutedWork) {
+  // The advisor's recommendation must reduce *executed* total work, not
+  // just estimated cost — the end-to-end calibration claim.
+  std::vector<advisor::WeightedQuery> queries;
+  for (size_t i = 0; i < W().size(); ++i) {
+    queries.push_back({&W().query(i).bound, 1.0});
+  }
+  advisor::TuningOptions options;
+  options.max_indexes = 12;
+  advisor::DtaStyleAdvisor advisor(env_->cost_model.get());
+  const advisor::TuningResult tuned = advisor.Tune(queries, options);
+  ASSERT_GT(tuned.configuration.size(), 0u);
+
+  Executor executor(&*db_);
+  uint64_t before = 0, after = 0;
+  for (size_t i = 0; i < W().size(); ++i) {
+    const ExecutionResult base =
+        executor.Execute(W().query(i).bound, PlanOf(i, engine::Configuration()));
+    const ExecutionResult opt =
+        executor.Execute(W().query(i).bound, PlanOf(i, tuned.configuration));
+    if (base.truncated || opt.truncated) continue;
+    before += base.row_ops;
+    after += opt.row_ops;
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST_F(ExecTest, ExecutionIsDeterministic) {
+  Executor executor(&*db_);
+  const engine::PlanSummary plan = PlanOf(3, engine::Configuration());
+  const ExecutionResult a = executor.Execute(W().query(3).bound, plan);
+  const ExecutionResult b = executor.Execute(W().query(3).bound, plan);
+  EXPECT_EQ(a.row_ops, b.row_ops);
+  EXPECT_EQ(a.output_rows, b.output_rows);
+}
+
+}  // namespace
+}  // namespace isum::exec

@@ -1,0 +1,122 @@
+// Tests for the incremental (anytime) compressor extension.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "baselines/simple.h"
+#include "core/incremental.h"
+#include "eval/pipeline.h"
+#include "workload/workload_factory.h"
+
+namespace isum::core {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  IncrementalTest() {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 4;
+    env_ = workload::MakeTpch(gen);
+  }
+  const workload::Workload& W() { return *env_->workload; }
+
+  std::optional<workload::GeneratedWorkload> env_;
+};
+
+TEST_F(IncrementalTest, SelectionAvailableAfterEveryBatch) {
+  IncrementalIsum inc(&W(), 8);
+  const size_t batch = 16;
+  for (size_t begin = 0; begin < W().size(); begin += batch) {
+    inc.ObserveBatch(begin, std::min(W().size(), begin + batch));
+    const workload::CompressedWorkload current = inc.Current();
+    EXPECT_LE(current.size(), 8u);
+    EXPECT_GT(current.size(), 0u);
+    // Selected indices must come from the observed prefix.
+    for (const auto& e : current.entries) {
+      EXPECT_LT(e.query_index, inc.observed());
+    }
+  }
+  EXPECT_EQ(inc.observed(), W().size());
+  EXPECT_EQ(inc.Current().size(), 8u);
+}
+
+TEST_F(IncrementalTest, WeightsNormalized) {
+  IncrementalIsum inc(&W(), 6);
+  inc.ObserveBatch(0, W().size());
+  double total = 0.0;
+  for (const auto& e : inc.Current().entries) {
+    EXPECT_GE(e.weight, 0.0);
+    total += e.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(IncrementalTest, SelectionsAreDistinct) {
+  IncrementalIsum inc(&W(), 10);
+  for (size_t begin = 0; begin < W().size(); begin += 10) {
+    inc.ObserveBatch(begin, std::min(W().size(), begin + 10));
+  }
+  const auto current = inc.Current();
+  std::set<size_t> uniq;
+  for (const auto& e : current.entries) uniq.insert(e.query_index);
+  EXPECT_EQ(uniq.size(), current.size());
+}
+
+TEST_F(IncrementalTest, SingleBatchMatchesBatchIsumQuality) {
+  // Observing everything at once approximates batch ISUM: the tuned
+  // improvement should be in the same ballpark.
+  IncrementalIsum inc(&W(), 8);
+  inc.ObserveBatch(0, W().size());
+  advisor::TuningOptions tuning;
+  tuning.max_indexes = 12;
+  const eval::TunerFn tuner = eval::MakeDtaTuner(W(), tuning);
+  const double inc_improvement =
+      eval::RunPipeline(W(), inc.Current(), tuner, "inc").improvement_percent;
+  const double batch_improvement =
+      eval::RunPipeline(W(), Isum(&W()).Compress(8), tuner, "batch")
+          .improvement_percent;
+  EXPECT_GT(inc_improvement, 0.5 * batch_improvement);
+}
+
+TEST_F(IncrementalTest, StreamingBeatsUniformPrefixSampling) {
+  // Against a uniform sample of the same size, the incremental selection
+  // should tune substantially better.
+  IncrementalIsum inc(&W(), 8);
+  for (size_t begin = 0; begin < W().size(); begin += 8) {
+    inc.ObserveBatch(begin, std::min(W().size(), begin + 8));
+  }
+  advisor::TuningOptions tuning;
+  tuning.max_indexes = 12;
+  const eval::TunerFn tuner = eval::MakeDtaTuner(W(), tuning);
+  const double inc_improvement =
+      eval::RunPipeline(W(), inc.Current(), tuner, "inc").improvement_percent;
+
+  baselines::UniformSamplingCompressor uniform(3);
+  const double uniform_improvement =
+      eval::RunPipeline(W(), uniform.Compress(W(), 8), tuner, "uniform")
+          .improvement_percent;
+  EXPECT_GT(inc_improvement, uniform_improvement);
+}
+
+TEST_F(IncrementalTest, EmptyBatchIsHarmless) {
+  IncrementalIsum inc(&W(), 4);
+  inc.ObserveBatch(0, 10);
+  const auto before = inc.Current();
+  inc.ObserveBatch(10, 10);  // empty range
+  const auto after = inc.Current();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.entries.size(); ++i) {
+    EXPECT_EQ(before.entries[i].query_index, after.entries[i].query_index);
+  }
+}
+
+TEST_F(IncrementalTest, KLargerThanStreamSelectsAll) {
+  IncrementalIsum inc(&W(), 500);
+  inc.ObserveBatch(0, 12);
+  EXPECT_EQ(inc.Current().size(), 12u);
+}
+
+}  // namespace
+}  // namespace isum::core

@@ -1,0 +1,225 @@
+// Unit tests for the SQL parser, including printer round-trip properties.
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace isum::sql {
+namespace {
+
+SelectStatement MustParse(std::string_view sql) {
+  auto result = ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nSQL: " << sql;
+  return result.ok() ? std::move(result).value() : SelectStatement{};
+}
+
+TEST(Parser, MinimalSelectStar) {
+  SelectStatement stmt = MustParse("SELECT * FROM t");
+  ASSERT_EQ(stmt.select_list.size(), 1u);
+  EXPECT_EQ(stmt.select_list[0].expr->kind(), ExpressionKind::kStar);
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].table_name, "t");
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(Parser, SelectListWithAliases) {
+  SelectStatement stmt = MustParse("SELECT a AS x, b y, c FROM t");
+  ASSERT_EQ(stmt.select_list.size(), 3u);
+  EXPECT_EQ(stmt.select_list[0].alias, "x");
+  EXPECT_EQ(stmt.select_list[1].alias, "y");
+  EXPECT_EQ(stmt.select_list[2].alias, "");
+}
+
+TEST(Parser, TableAliases) {
+  SelectStatement stmt = MustParse("SELECT * FROM orders o, lineitem AS l");
+  ASSERT_EQ(stmt.from.size(), 2u);
+  EXPECT_EQ(stmt.from[0].alias, "o");
+  EXPECT_EQ(stmt.from[1].alias, "l");
+  EXPECT_EQ(stmt.from[1].effective_name(), "l");
+}
+
+TEST(Parser, WherePrecedenceAndOverOr) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(stmt.where, nullptr);
+  const auto& root = static_cast<const BinaryExpression&>(*stmt.where);
+  EXPECT_EQ(root.op(), BinaryOp::kOr);  // AND binds tighter
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  SelectStatement stmt = MustParse("SELECT a + b * c FROM t");
+  const auto& root =
+      static_cast<const BinaryExpression&>(*stmt.select_list[0].expr);
+  EXPECT_EQ(root.op(), BinaryOp::kPlus);
+  EXPECT_EQ(static_cast<const BinaryExpression&>(root.rhs()).op(),
+            BinaryOp::kMul);
+}
+
+TEST(Parser, ComparisonOperators) {
+  for (const char* op : {"=", "<>", "<", "<=", ">", ">="}) {
+    SelectStatement stmt =
+        MustParse(std::string("SELECT * FROM t WHERE a ") + op + " 1");
+    EXPECT_EQ(stmt.where->kind(), ExpressionKind::kBinary);
+  }
+}
+
+TEST(Parser, InListAndNotIn) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE a IN (1, 2, 3)");
+  const auto& in = static_cast<const InExpression&>(*stmt.where);
+  EXPECT_EQ(in.values().size(), 3u);
+  EXPECT_FALSE(in.negated());
+  SelectStatement stmt2 = MustParse("SELECT * FROM t WHERE a NOT IN ('x')");
+  EXPECT_TRUE(static_cast<const InExpression&>(*stmt2.where).negated());
+}
+
+TEST(Parser, BetweenBindsAndCorrectly) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b = 2");
+  // Root must be AND(between, eq), not between(a, 1, and(...)).
+  const auto& root = static_cast<const BinaryExpression&>(*stmt.where);
+  EXPECT_EQ(root.op(), BinaryOp::kAnd);
+  EXPECT_EQ(root.lhs().kind(), ExpressionKind::kBetween);
+}
+
+TEST(Parser, LikeAndNotLike) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE name LIKE 'abc%'");
+  const auto& like = static_cast<const LikeExpression&>(*stmt.where);
+  EXPECT_EQ(like.pattern(), "abc%");
+  SelectStatement stmt2 = MustParse("SELECT * FROM t WHERE name NOT LIKE '%x'");
+  EXPECT_TRUE(static_cast<const LikeExpression&>(*stmt2.where).negated());
+}
+
+TEST(Parser, IsNullVariants) {
+  SelectStatement s1 = MustParse("SELECT * FROM t WHERE a IS NULL");
+  EXPECT_FALSE(static_cast<const IsNullExpression&>(*s1.where).negated());
+  SelectStatement s2 = MustParse("SELECT * FROM t WHERE a IS NOT NULL");
+  EXPECT_TRUE(static_cast<const IsNullExpression&>(*s2.where).negated());
+}
+
+TEST(Parser, FunctionCallsAndDistinct) {
+  SelectStatement stmt =
+      MustParse("SELECT COUNT(*), SUM(a + b), COUNT(DISTINCT c) FROM t");
+  ASSERT_EQ(stmt.select_list.size(), 3u);
+  const auto& count =
+      static_cast<const FunctionCallExpression&>(*stmt.select_list[0].expr);
+  EXPECT_EQ(count.name(), "COUNT");
+  const auto& distinct =
+      static_cast<const FunctionCallExpression&>(*stmt.select_list[2].expr);
+  EXPECT_TRUE(distinct.distinct());
+}
+
+TEST(Parser, GroupByHavingOrderByLimit) {
+  SelectStatement stmt = MustParse(
+      "SELECT a, COUNT(*) FROM t WHERE b > 0 GROUP BY a HAVING COUNT(*) > 5 "
+      "ORDER BY a DESC LIMIT 10");
+  EXPECT_EQ(stmt.group_by.size(), 1u);
+  ASSERT_NE(stmt.having, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 1u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_EQ(stmt.limit, 10);
+}
+
+TEST(Parser, ExplicitJoinNormalizedIntoWhere) {
+  SelectStatement stmt = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w "
+      "WHERE a.v = 1");
+  EXPECT_EQ(stmt.from.size(), 3u);
+  // WHERE now holds the original predicate AND both join conditions.
+  int ands = 0;
+  std::function<void(const Expression&)> walk = [&](const Expression& e) {
+    if (e.kind() == ExpressionKind::kBinary) {
+      const auto& bin = static_cast<const BinaryExpression&>(e);
+      if (bin.op() == BinaryOp::kAnd) {
+        ++ands;
+        walk(bin.lhs());
+        walk(bin.rhs());
+      }
+    }
+  };
+  walk(*stmt.where);
+  EXPECT_EQ(ands, 2);
+}
+
+TEST(Parser, LeftOuterJoinAccepted) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y");
+  EXPECT_EQ(stmt.from.size(), 2u);
+}
+
+TEST(Parser, QualifiedColumnRefs) {
+  SelectStatement stmt = MustParse("SELECT t.a FROM t WHERE t.b = 1");
+  const auto& ref =
+      static_cast<const ColumnRefExpression&>(*stmt.select_list[0].expr);
+  EXPECT_EQ(ref.table(), "t");
+  EXPECT_EQ(ref.column(), "a");
+}
+
+TEST(Parser, NegativeNumbersFold) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE a > -5");
+  const auto& cmp = static_cast<const BinaryExpression&>(*stmt.where);
+  const auto& lit = static_cast<const LiteralExpression&>(cmp.rhs());
+  EXPECT_DOUBLE_EQ(lit.number(), -5.0);
+}
+
+TEST(Parser, NotPredicate) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE NOT a = 1");
+  EXPECT_EQ(stmt.where->kind(), ExpressionKind::kUnaryNot);
+}
+
+TEST(Parser, DistinctSelect) {
+  EXPECT_TRUE(MustParse("SELECT DISTINCT a FROM t").distinct);
+  EXPECT_FALSE(MustParse("SELECT a FROM t").distinct);
+}
+
+TEST(Parser, TrailingSemicolonOk) {
+  MustParse("SELECT * FROM t;");
+}
+
+// --- Error cases. ---
+
+class ParserErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrors, Rejected) {
+  auto result = ParseSelect(GetParam());
+  EXPECT_FALSE(result.ok()) << "should reject: " << GetParam();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSql, ParserErrors,
+    ::testing::Values("SELECT", "SELECT FROM t", "SELECT * FROM",
+                      "SELECT * FROM t WHERE", "SELECT * FROM t GROUP",
+                      "SELECT * FROM t LIMIT x", "SELECT a b c FROM t",
+                      "SELECT * FROM t WHERE a NOT 5",
+                      "SELECT * FROM t WHERE a IN 1",
+                      "SELECT * FROM t WHERE a BETWEEN 1", "FROM t",
+                      "SELECT * FROM t extra garbage ("));
+
+// --- Printer round-trip property: print(parse(s)) is a fixed point. ---
+
+class ParserRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTrip, PrintParsePrintIsStable) {
+  SelectStatement first = MustParse(GetParam());
+  const std::string printed = StatementToSql(first);
+  SelectStatement second = MustParse(printed);
+  EXPECT_EQ(printed, StatementToSql(second)) << "original: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, ParserRoundTrip,
+    ::testing::Values(
+        "SELECT * FROM t",
+        "SELECT a, b AS x FROM t WHERE a = 1 AND b < 2.5",
+        "SELECT COUNT(*) FROM t WHERE a IN (1, 2, 3) OR b IS NULL",
+        "SELECT a, SUM(b * c) FROM t, u WHERE t.id = u.id GROUP BY a "
+        "ORDER BY a DESC LIMIT 5",
+        "SELECT * FROM t WHERE name LIKE 'pre%' AND d BETWEEN '2020-01-01' "
+        "AND '2020-06-30'",
+        "SELECT DISTINCT a FROM t WHERE NOT (a = 1 OR a = 2)",
+        "SELECT AVG(x) FROM t WHERE s = 'it''s quoted'"));
+
+}  // namespace
+}  // namespace isum::sql

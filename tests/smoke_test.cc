@@ -1,0 +1,35 @@
+// End-to-end smoke test: generate a tiny TPC-H workload, compress with ISUM,
+// tune, and check the pipeline produces a sane improvement.
+
+#include <gtest/gtest.h>
+
+#include "eval/pipeline.h"
+#include "workload/workload_factory.h"
+
+namespace isum {
+namespace {
+
+TEST(Smoke, TpchCompressTuneEvaluate) {
+  workload::GeneratorOptions gen;
+  gen.instances_per_template = 3;
+  workload::GeneratedWorkload env = workload::MakeTpch(gen);
+  ASSERT_EQ(env.workload->size(), 22u * 3u);
+  ASSERT_EQ(env.workload->NumTemplates(), 22u);
+  EXPECT_GT(env.workload->TotalCost(), 0.0);
+
+  core::Isum isum(env.workload.get());
+  workload::CompressedWorkload compressed = isum.Compress(8);
+  ASSERT_EQ(compressed.size(), 8u);
+
+  advisor::TuningOptions tuning;
+  tuning.max_indexes = 10;
+  eval::EvaluationResult result = eval::RunPipeline(
+      *env.workload, compressed, eval::MakeDtaTuner(*env.workload, tuning),
+      "ISUM");
+  EXPECT_GT(result.tuning.configuration.size(), 0u);
+  EXPECT_GT(result.improvement_percent, 0.0);
+  EXPECT_LE(result.improvement_percent, 100.0);
+}
+
+}  // namespace
+}  // namespace isum

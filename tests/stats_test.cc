@@ -1,0 +1,214 @@
+// Unit tests for src/stats: histograms, column stats, the synthetic data
+// generator, and the StatsManager estimation API.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/schema_builder.h"
+#include "common/rng.h"
+#include "stats/data_generator.h"
+#include "stats/stats_manager.h"
+
+namespace isum::stats {
+namespace {
+
+std::vector<double> UniformSample(int n, double lo, double hi) {
+  std::vector<double> s;
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) s.push_back(rng.NextDouble(lo, hi));
+  return s;
+}
+
+TEST(Histogram, BucketRowsSumToTotal) {
+  Histogram h = Histogram::FromSample(UniformSample(4000, 0, 100), 32, 1e6);
+  double rows = 0.0;
+  for (const auto& b : h.buckets()) rows += b.rows;
+  EXPECT_NEAR(rows, 1e6, 1.0);
+}
+
+TEST(Histogram, RangeSelectivityOfFullDomainIsOne) {
+  Histogram h = Histogram::FromSample(UniformSample(4000, 0, 100), 32, 1e6);
+  EXPECT_NEAR(h.SelectivityRange(std::nullopt, std::nullopt), 1.0, 1e-9);
+  EXPECT_NEAR(h.SelectivityRange(-10.0, 200.0), 1.0, 1e-3);
+}
+
+TEST(Histogram, RangeSelectivityProportionalForUniform) {
+  Histogram h = Histogram::FromSample(UniformSample(8000, 0, 100), 64, 1e6);
+  EXPECT_NEAR(h.SelectivityRange(0.0, 25.0), 0.25, 0.03);
+  EXPECT_NEAR(h.SelectivityRange(40.0, 60.0), 0.20, 0.03);
+  EXPECT_NEAR(h.SelectivityRange(90.0, std::nullopt), 0.10, 0.03);
+}
+
+TEST(Histogram, HalfOpenRanges) {
+  Histogram h = Histogram::FromSample(UniformSample(8000, 0, 100), 64, 1e6);
+  const double below = h.SelectivityRange(std::nullopt, 30.0);
+  const double above = h.SelectivityRange(30.0, std::nullopt);
+  EXPECT_NEAR(below + above, 1.0, 0.05);
+}
+
+TEST(Histogram, QuantileIsMonotonic) {
+  Histogram h = Histogram::FromSample(UniformSample(4000, 0, 1000), 32, 1e6);
+  double prev = h.ValueAtQuantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantileInverseOfRangeSelectivity) {
+  Histogram h = Histogram::FromSample(UniformSample(8000, 0, 100), 64, 1e6);
+  for (double q : {0.1, 0.35, 0.7, 0.9}) {
+    const double v = h.ValueAtQuantile(q);
+    EXPECT_NEAR(h.SelectivityRange(std::nullopt, v), q, 0.04);
+  }
+}
+
+TEST(Histogram, EqualitySelectivityUsesBucketDistincts) {
+  // 10 distinct values, each ~400 samples.
+  std::vector<double> sample;
+  Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    sample.push_back(static_cast<double>(rng.NextUint64(10)));
+  }
+  Histogram h = Histogram::FromSample(std::move(sample), 16, 1e6);
+  EXPECT_NEAR(h.SelectivityEquals(5.0), 0.1, 0.05);
+  EXPECT_EQ(h.SelectivityEquals(55.0), 0.0);  // outside domain
+}
+
+TEST(Histogram, EmptyHistogramDefaults) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.SelectivityEquals(1.0), 0.0);
+  EXPECT_EQ(h.SelectivityRange(0.0, 1.0), 1.0);
+}
+
+TEST(ColumnStats, DensityClamped) {
+  ColumnStats s;
+  s.distinct_count = 4.0;
+  EXPECT_DOUBLE_EQ(s.Density(), 0.25);
+  s.distinct_count = 0.5;
+  EXPECT_DOUBLE_EQ(s.Density(), 1.0);
+}
+
+TEST(ColumnStats, FallbacksWithoutHistogram) {
+  ColumnStats s;
+  s.min_value = 0;
+  s.max_value = 100;
+  s.distinct_count = 50;
+  EXPECT_NEAR(s.SelectivityRange(0.0, 50.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.SelectivityEquals(3.0), 0.02);
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(0.3), 30.0);
+}
+
+// --- DataGenerator over all distributions (parameterized sweep). ---
+
+class DataGeneratorDistributions
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(DataGeneratorDistributions, ProducesConsistentStats) {
+  Rng rng(3);
+  DataGenerator dg;
+  ColumnDataSpec spec;
+  spec.distribution = GetParam();
+  spec.distinct = 500;
+  spec.domain_min = 10;
+  spec.domain_max = 1000;
+  const uint64_t rows = 100000;
+  ColumnStats s = dg.Generate(spec, rows, rng);
+  EXPECT_DOUBLE_EQ(s.row_count, static_cast<double>(rows));
+  EXPECT_GE(s.distinct_count, 1.0);
+  EXPECT_FALSE(s.histogram.empty());
+  if (GetParam() != Distribution::kKey) {  // keys ignore the domain spec
+    EXPECT_GE(s.min_value, spec.domain_min - 1.5);
+    EXPECT_LE(s.max_value, spec.domain_max + 1e-9);
+    EXPECT_LE(s.distinct_count, 500.0 + 1e-9);
+  }
+  // Histogram totals match the row count.
+  double total = 0.0;
+  for (const auto& b : s.histogram.buckets()) total += b.rows;
+  EXPECT_NEAR(total, static_cast<double>(rows), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DataGeneratorDistributions,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kZipf,
+                                           Distribution::kGaussian,
+                                           Distribution::kKey));
+
+TEST(DataGenerator, KeyColumnsAreDenseUnique) {
+  Rng rng(4);
+  DataGenerator dg;
+  ColumnDataSpec spec;
+  spec.distribution = Distribution::kKey;
+  ColumnStats s = dg.Generate(spec, 12345, rng);
+  EXPECT_DOUBLE_EQ(s.distinct_count, 12345.0);
+  EXPECT_DOUBLE_EQ(s.min_value, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_value, 12345.0);
+}
+
+TEST(DataGenerator, ZipfSkewShowsInEqualitySelectivity) {
+  Rng rng(5);
+  DataGenerator dg(8192, 64);
+  ColumnDataSpec zipf;
+  zipf.distribution = Distribution::kZipf;
+  zipf.zipf_skew = 1.4;
+  zipf.distinct = 1000;
+  zipf.domain_min = 0;
+  zipf.domain_max = 1000;
+  ColumnStats s = dg.Generate(zipf, 1000000, rng);
+  // The hottest bucket should be much denser than uniform (1/1000).
+  double max_eq = 0.0;
+  for (const auto& b : s.histogram.buckets()) {
+    max_eq = std::max(max_eq, b.rows / std::max(1.0, b.distinct) /
+                                  s.row_count);
+  }
+  EXPECT_GT(max_eq, 0.05);
+}
+
+TEST(DataGenerator, DeterministicForEqualSeeds) {
+  DataGenerator dg;
+  ColumnDataSpec spec;
+  spec.distinct = 100;
+  Rng r1(9), r2(9);
+  ColumnStats a = dg.Generate(spec, 1000, r1);
+  ColumnStats b = dg.Generate(spec, 1000, r2);
+  EXPECT_EQ(a.distinct_count, b.distinct_count);
+  EXPECT_EQ(a.histogram.buckets().size(), b.histogram.buckets().size());
+}
+
+// --- StatsManager ---
+
+TEST(StatsManager, ReturnsRegisteredStats) {
+  catalog::Catalog cat;
+  catalog::SchemaBuilder b(&cat);
+  b.Table("t", 1000).Key("id", catalog::ColumnType::kInt).Col("v", catalog::ColumnType::kInt);
+  StatsManager sm(&cat);
+  const catalog::ColumnId v = cat.ResolveColumn("t", "v");
+  ColumnStats s;
+  s.row_count = 1000;
+  s.distinct_count = 10;
+  sm.SetStats(v, s);
+  EXPECT_TRUE(sm.HasStats(v));
+  EXPECT_DOUBLE_EQ(sm.Density(v), 0.1);
+  EXPECT_DOUBLE_EQ(sm.DistinctCount(v), 10.0);
+}
+
+TEST(StatsManager, SynthesizesDefaultsFromCatalog) {
+  catalog::Catalog cat;
+  catalog::SchemaBuilder b(&cat);
+  b.Table("t", 1000).Key("id", catalog::ColumnType::kInt).Col("v", catalog::ColumnType::kInt);
+  StatsManager sm(&cat);
+  const catalog::ColumnId id = cat.ResolveColumn("t", "id");
+  const catalog::ColumnId v = cat.ResolveColumn("t", "v");
+  EXPECT_FALSE(sm.HasStats(id));
+  // Keys default to rows distinct values; non-keys to rows/10.
+  EXPECT_DOUBLE_EQ(sm.DistinctCount(id), 1000.0);
+  EXPECT_DOUBLE_EQ(sm.DistinctCount(v), 100.0);
+  // Defaults are cached (same object back).
+  EXPECT_EQ(&sm.GetStats(v), &sm.GetStats(v));
+}
+
+}  // namespace
+}  // namespace isum::stats

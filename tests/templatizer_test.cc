@@ -1,0 +1,76 @@
+// Unit tests for query templatization (§7 template identity).
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/templatizer.h"
+
+namespace isum::sql {
+namespace {
+
+uint64_t HashOf(const std::string& sql) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return TemplateHash(*stmt);
+}
+
+TEST(Templatizer, SameSkeletonDifferentLiteralsMatch) {
+  EXPECT_EQ(HashOf("SELECT a FROM t WHERE b = 1"),
+            HashOf("SELECT a FROM t WHERE b = 999"));
+  EXPECT_EQ(HashOf("SELECT a FROM t WHERE s = 'x' AND d > '2020-01-01'"),
+            HashOf("SELECT a FROM t WHERE s = 'y' AND d > '1999-12-31'"));
+}
+
+TEST(Templatizer, DifferentColumnsDiffer) {
+  EXPECT_NE(HashOf("SELECT a FROM t WHERE b = 1"),
+            HashOf("SELECT a FROM t WHERE c = 1"));
+}
+
+TEST(Templatizer, DifferentOperatorsDiffer) {
+  EXPECT_NE(HashOf("SELECT a FROM t WHERE b = 1"),
+            HashOf("SELECT a FROM t WHERE b < 1"));
+}
+
+TEST(Templatizer, DifferentTablesDiffer) {
+  EXPECT_NE(HashOf("SELECT a FROM t WHERE b = 1"),
+            HashOf("SELECT a FROM u WHERE b = 1"));
+}
+
+TEST(Templatizer, LikePatternsAreParameters) {
+  EXPECT_EQ(HashOf("SELECT a FROM t WHERE s LIKE 'x%'"),
+            HashOf("SELECT a FROM t WHERE s LIKE 'completely-different%'"));
+}
+
+TEST(Templatizer, LimitValueIsParameter) {
+  EXPECT_EQ(HashOf("SELECT a FROM t LIMIT 5"),
+            HashOf("SELECT a FROM t LIMIT 500"));
+  EXPECT_NE(HashOf("SELECT a FROM t LIMIT 5"), HashOf("SELECT a FROM t"));
+}
+
+TEST(Templatizer, InListLiteralsMaskedButArityKept) {
+  EXPECT_EQ(HashOf("SELECT a FROM t WHERE b IN (1, 2)"),
+            HashOf("SELECT a FROM t WHERE b IN (8, 9)"));
+  EXPECT_NE(HashOf("SELECT a FROM t WHERE b IN (1, 2)"),
+            HashOf("SELECT a FROM t WHERE b IN (1, 2, 3)"));
+}
+
+TEST(Templatizer, BetweenBoundsMasked) {
+  EXPECT_EQ(HashOf("SELECT a FROM t WHERE b BETWEEN 1 AND 2"),
+            HashOf("SELECT a FROM t WHERE b BETWEEN 100 AND 3000"));
+}
+
+TEST(Templatizer, TemplateTextIsHumanReadable) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE b = 42 AND c LIKE 'x%'");
+  const std::string text = TemplateText(*stmt);
+  EXPECT_NE(text.find("'?'"), std::string::npos);
+  EXPECT_EQ(text.find("42"), std::string::npos);
+  EXPECT_EQ(text.find("x%"), std::string::npos);
+}
+
+TEST(Templatizer, GroupOrderPreservedInTemplate) {
+  EXPECT_NE(HashOf("SELECT a, COUNT(*) FROM t GROUP BY a"),
+            HashOf("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a"));
+}
+
+}  // namespace
+}  // namespace isum::sql

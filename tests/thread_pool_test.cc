@@ -1,0 +1,70 @@
+// Tests for the thread pool and parallel candidate evaluation determinism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+
+#include "advisor/advisor.h"
+#include "common/thread_pool.h"
+#include "workload/workload_factory.h"
+
+namespace isum {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.ParallelFor(257, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(50, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelAdvisor, SameRecommendationForAnyThreadCount) {
+  workload::GeneratorOptions gen;
+  gen.instances_per_template = 2;
+  workload::GeneratedWorkload env = workload::MakeTpch(gen);
+  std::vector<advisor::WeightedQuery> queries;
+  for (size_t i = 0; i < env.workload->size(); ++i) {
+    queries.push_back({&env.workload->query(i).bound, 1.0});
+  }
+  advisor::DtaStyleAdvisor advisor(env.cost_model.get());
+
+  advisor::TuningOptions serial;
+  serial.max_indexes = 10;
+  serial.num_threads = 1;
+  advisor::TuningOptions parallel = serial;
+  parallel.num_threads = 4;
+
+  const auto a = advisor.Tune(queries, serial);
+  const auto b = advisor.Tune(queries, parallel);
+  EXPECT_EQ(a.configuration.StableHash(), b.configuration.StableHash());
+  EXPECT_NEAR(a.final_cost, b.final_cost, a.final_cost * 1e-9);
+  ASSERT_EQ(a.configuration.size(), b.configuration.size());
+  for (size_t i = 0; i < a.configuration.size(); ++i) {
+    EXPECT_TRUE(a.configuration.indexes()[i] == b.configuration.indexes()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace isum

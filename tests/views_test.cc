@@ -1,0 +1,175 @@
+// Tests for the materialized-view extension (§10): view candidates,
+// matching rules, sizing, the view advisor, and cost-with-views.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "views/view_advisor.h"
+#include "workload/workload_factory.h"
+
+namespace isum::views {
+namespace {
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest() {
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = 2;
+    env_ = workload::MakeTpch(gen);
+  }
+
+  const workload::Workload& W() { return *env_->workload; }
+
+  const sql::BoundQuery& Query(size_t i) { return W().query(i).bound; }
+
+  std::optional<workload::GeneratedWorkload> env_;
+};
+
+TEST_F(ViewsTest, CandidateExistsForAggregateQueries) {
+  int candidates = 0;
+  for (size_t i = 0; i < W().size(); ++i) {
+    if (ViewCandidateFor(Query(i)).has_value()) ++candidates;
+  }
+  // Most TPC-H templates aggregate; a solid majority should be viewable.
+  EXPECT_GT(candidates, static_cast<int>(W().size()) / 2);
+}
+
+TEST_F(ViewsTest, NoCandidateForNonAggregateOrComplexQueries) {
+  for (size_t i = 0; i < W().size(); ++i) {
+    const sql::BoundQuery& q = Query(i);
+    if (q.aggregates.empty() && q.group_by_columns.empty()) {
+      EXPECT_FALSE(ViewCandidateFor(q).has_value()) << W().query(i).sql;
+    }
+    if (!q.complex_predicates.empty()) {
+      EXPECT_FALSE(ViewCandidateFor(q).has_value()) << W().query(i).sql;
+    }
+  }
+}
+
+TEST_F(ViewsTest, CandidateMatchesItsOwnQuery) {
+  for (size_t i = 0; i < W().size(); ++i) {
+    auto candidate = ViewCandidateFor(Query(i));
+    if (candidate.has_value()) {
+      EXPECT_TRUE(candidate->Matches(Query(i))) << W().query(i).sql;
+    }
+  }
+}
+
+TEST_F(ViewsTest, CandidateMatchesSameTemplateSiblings) {
+  // With 2 instances per template, the candidate from one instance must
+  // answer its sibling (different literals, same shape) — that's why filter
+  // columns are folded into the view's group-by.
+  for (const auto& [hash, members] : W().templates()) {
+    auto candidate = ViewCandidateFor(Query(members[0]));
+    if (!candidate.has_value()) continue;
+    EXPECT_TRUE(candidate->Matches(Query(members[1])))
+        << W().query(members[1]).sql;
+  }
+}
+
+TEST_F(ViewsTest, DifferentJoinCoresDoNotMatch) {
+  std::optional<MaterializedView> some;
+  for (size_t i = 0; i < W().size(); ++i) {
+    auto c = ViewCandidateFor(Query(i));
+    if (!c.has_value()) continue;
+    if (!some.has_value()) {
+      some = c;
+      continue;
+    }
+    if (c->CanonicalKey() != some->CanonicalKey()) {
+      // Views from different templates must not cross-match when their
+      // table sets differ.
+      if (c->tables() != some->tables()) {
+        EXPECT_FALSE(some->Matches(Query(i)));
+      }
+    }
+  }
+}
+
+TEST_F(ViewsTest, ViewRowsAndSizeBounded) {
+  for (size_t i = 0; i < W().size(); ++i) {
+    auto c = ViewCandidateFor(Query(i));
+    if (!c.has_value()) continue;
+    const double rows = c->EstimatedRows(*env_->cost_model);
+    EXPECT_GE(rows, 1.0);
+    EXPECT_GT(c->SizeBytes(*env_->cost_model), 0u);
+  }
+}
+
+TEST_F(ViewsTest, AnswerCostBeatsBaseForExpensiveAggregates) {
+  // For at least half the viewable queries, answering from the (much
+  // smaller) aggregate view must be cheaper than the base plan.
+  engine::Optimizer optimizer(env_->cost_model.get());
+  int cheaper = 0, viewable = 0;
+  for (size_t i = 0; i < W().size(); ++i) {
+    auto c = ViewCandidateFor(Query(i));
+    if (!c.has_value()) continue;
+    ++viewable;
+    const double base = optimizer.Cost(Query(i), engine::Configuration());
+    if (c->AnswerCost(Query(i), *env_->cost_model) < base) ++cheaper;
+  }
+  EXPECT_GT(viewable, 0);
+  EXPECT_GT(cheaper * 2, viewable);
+}
+
+TEST_F(ViewsTest, CostWithViewsNeverWorseThanBase) {
+  engine::Optimizer optimizer(env_->cost_model.get());
+  std::vector<MaterializedView> views;
+  for (size_t i = 0; i < W().size(); i += 3) {
+    auto c = ViewCandidateFor(Query(i));
+    if (c.has_value()) views.push_back(std::move(*c));
+  }
+  for (size_t i = 0; i < W().size(); ++i) {
+    const double base = optimizer.Cost(Query(i), engine::Configuration());
+    EXPECT_LE(CostWithViews(Query(i), views, *env_->cost_model), base + 1e-9);
+  }
+}
+
+TEST_F(ViewsTest, AdvisorRespectsLimitsAndImproves) {
+  std::vector<advisor::WeightedQuery> queries;
+  for (size_t i = 0; i < W().size(); ++i) {
+    queries.push_back({&Query(i), 1.0});
+  }
+  ViewAdvisor advisor(env_->cost_model.get());
+  ViewTuningOptions options;
+  options.max_views = 5;
+  const ViewTuningResult result = advisor.Tune(queries, options);
+  EXPECT_LE(result.views.size(), 5u);
+  EXPECT_GT(result.views.size(), 0u);
+  EXPECT_LT(result.final_cost, result.initial_cost);
+}
+
+TEST_F(ViewsTest, AdvisorRespectsStorageBudget) {
+  std::vector<advisor::WeightedQuery> queries;
+  for (size_t i = 0; i < W().size(); ++i) {
+    queries.push_back({&Query(i), 1.0});
+  }
+  ViewAdvisor advisor(env_->cost_model.get());
+  ViewTuningOptions options;
+  options.max_views = 50;
+  options.storage_budget_multiplier = 0.01;
+  const ViewTuningResult result = advisor.Tune(queries, options);
+  EXPECT_LE(result.storage_bytes,
+            static_cast<uint64_t>(0.01 * env_->catalog->total_data_bytes()));
+}
+
+TEST_F(ViewsTest, CanonicalKeyStableAndDiscriminating) {
+  auto a = ViewCandidateFor(Query(0));
+  auto b = ViewCandidateFor(Query(1));  // same template, other literals
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->CanonicalKey(), b->CanonicalKey());
+  // A view from a different template differs.
+  for (size_t i = 2; i < W().size(); ++i) {
+    if (W().query(i).template_hash == W().query(0).template_hash) continue;
+    auto c = ViewCandidateFor(Query(i));
+    if (c.has_value()) {
+      EXPECT_NE(a->CanonicalKey(), c->CanonicalKey());
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isum::views
