@@ -1,6 +1,5 @@
 #include "catalog/catalog.h"
 
-#include <cassert>
 
 #include "common/string_util.h"
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace isum::catalog {
@@ -104,9 +105,16 @@ class Catalog {
   /// Creates a table; fails on duplicate (case-insensitive) names.
   StatusOr<Table*> CreateTable(const std::string& name, uint64_t row_count);
 
-  /// Lookup by id; asserts validity.
-  const Table& table(TableId id) const { return *tables_[id]; }
-  Table& mutable_table(TableId id) { return *tables_[id]; }
+  /// Lookup by id; ISUM_DCHECKs validity (ids come from this catalog, so an
+  /// out-of-range id is a caller bug, not an input error).
+  const Table& table(TableId id) const {
+    ISUM_DCHECK(id >= 0 && static_cast<size_t>(id) < tables_.size());
+    return *tables_[id];
+  }
+  Table& mutable_table(TableId id) {
+    ISUM_DCHECK(id >= 0 && static_cast<size_t>(id) < tables_.size());
+    return *tables_[id];
+  }
 
   /// Lookup by case-insensitive name; nullptr if absent.
   const Table* FindTable(const std::string& name) const;

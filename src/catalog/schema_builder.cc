@@ -1,13 +1,13 @@
 #include "catalog/schema_builder.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace isum::catalog {
 
 SchemaBuilder::TableBuilder SchemaBuilder::Table(const std::string& name,
                                                  uint64_t row_count) {
   auto result = catalog_->CreateTable(name, row_count);
-  assert(result.ok() && "duplicate table in SchemaBuilder");
+  ISUM_CHECK_MSG(result.ok(), "duplicate table in SchemaBuilder: " + name);
   return TableBuilder(result.value());
 }
 
@@ -20,8 +20,7 @@ SchemaBuilder::TableBuilder& SchemaBuilder::TableBuilder::Add(
   c.width_bytes = DefaultWidthBytes(type, declared_length);
   c.is_key = is_key;
   auto result = table_->AddColumn(std::move(c));
-  assert(result.ok() && "duplicate column in SchemaBuilder");
-  (void)result;
+  ISUM_CHECK_MSG(result.ok(), "duplicate column in SchemaBuilder: " + name);
   return *this;
 }
 

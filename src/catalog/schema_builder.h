@@ -15,8 +15,9 @@ namespace isum::catalog {
 ///       .Col("o_custkey", ColumnType::kInt)
 ///       .Col("o_comment", ColumnType::kVarchar, 79);
 ///
-/// Errors (duplicate names) terminate the process via assert; builders are
-/// only used with programmatic schemas where duplicates are bugs.
+/// Errors (duplicate names) terminate the process via ISUM_CHECK — in every
+/// build type, including NDEBUG; builders are only used with programmatic
+/// schemas where duplicates are bugs.
 class SchemaBuilder {
  public:
   class TableBuilder {

@@ -1,0 +1,24 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isum::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& detail) {
+  // The contract reporter is the one sanctioned direct stderr writer in the
+  // library: it runs at most once per process, immediately before abort().
+  if (detail.empty()) {
+    std::fprintf(  // NOLINT(isum-no-stdio)
+        stderr, "%s:%d: check failed: %s\n", file, line, expr);
+  } else {
+    std::fprintf(  // NOLINT(isum-no-stdio)
+        stderr, "%s:%d: check failed: %s (%s)\n", file, line, expr,
+        detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();  // NOLINT(isum-no-assert)
+}
+
+}  // namespace isum::internal

@@ -1,0 +1,85 @@
+#ifndef ISUM_COMMON_CHECK_H_
+#define ISUM_COMMON_CHECK_H_
+
+#include <string>
+
+namespace isum::internal {
+
+/// Reports a failed contract to stderr as
+/// "file:line: check failed: expr (detail)" and aborts. Out of line so the
+/// macros below stay cheap at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+
+}  // namespace isum::internal
+
+/// Contract macros. Unlike assert(), ISUM_CHECK* survive NDEBUG: they are the
+/// library's last line of defense against silently corrupt results (the
+/// default RelWithDebInfo build defines NDEBUG, which compiles assert() out).
+///
+/// Policy (see docs/ANALYSIS.md):
+///   ISUM_CHECK       — invariants whose violation would corrupt results or
+///                      invoke UB. Always on; one predictable branch.
+///   ISUM_CHECK_OK    — like ISUM_CHECK but for Status/StatusOr expressions;
+///                      prints Status::ToString() on failure.
+///   ISUM_DCHECK      — debug-only; for checks too expensive for release
+///                      builds or redundant with an adjacent ISUM_CHECK.
+///   ISUM_UNREACHABLE — marks control flow that must never execute.
+#define ISUM_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::isum::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                  \
+  } while (0)
+
+/// Checks cond and appends a formatted detail message on failure. `detail`
+/// may be any expression convertible to std::string (it is only evaluated on
+/// failure).
+#define ISUM_CHECK_MSG(cond, detail)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::isum::internal::CheckFailed(__FILE__, __LINE__, #cond, (detail)); \
+    }                                                                     \
+  } while (0)
+
+/// Checks that a Status (or StatusOr) expression is OK; prints the carried
+/// error on failure. Works with any type exposing ok() and status().
+#define ISUM_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    auto&& isum_check_ok_result_ = (expr);                             \
+    if (!isum_check_ok_result_.ok()) {                                 \
+      ::isum::internal::CheckFailed(                                   \
+          __FILE__, __LINE__, #expr " is OK",                          \
+          ::isum::internal::StatusDetail(isum_check_ok_result_));      \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define ISUM_DCHECK(cond)            \
+  do {                               \
+    if (false && (cond)) {           \
+    }                                \
+  } while (0)
+#else
+#define ISUM_DCHECK(cond) ISUM_CHECK(cond)
+#endif
+
+#define ISUM_UNREACHABLE()                                             \
+  ::isum::internal::CheckFailed(__FILE__, __LINE__, "unreachable code", \
+                                "")
+
+namespace isum::internal {
+
+/// Extracts a printable error from a Status or StatusOr-like object.
+template <typename T>
+std::string StatusDetail(const T& status_like) {
+  if constexpr (requires { status_like.status().ToString(); }) {
+    return status_like.status().ToString();
+  } else {
+    return status_like.ToString();
+  }
+}
+
+}  // namespace isum::internal
+
+#endif  // ISUM_COMMON_CHECK_H_

@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace isum {
+
+namespace {
+LogSink& GlobalSink() {
+  static LogSink sink;  // empty => default stderr writer
+  return sink;
+}
+}  // namespace
+
+LogSink SetLogSink(LogSink sink) {
+  LogSink previous = std::move(GlobalSink());
+  GlobalSink() = std::move(sink);
+  return previous;
+}
+
+void LogWarning(const std::string& message) {
+  const LogSink& sink = GlobalSink();
+  if (sink) {
+    sink(message);
+    return;
+  }
+  // Default sink: the one sanctioned stderr writer for warnings.
+  std::fprintf(stderr, "%s\n", message.c_str());  // NOLINT(isum-no-stdio)
+}
+
+}  // namespace isum

@@ -1,0 +1,25 @@
+#ifndef ISUM_COMMON_LOG_H_
+#define ISUM_COMMON_LOG_H_
+
+#include <functional>
+#include <string>
+
+namespace isum {
+
+/// Minimal diagnostic sink. Library code must not write to stdout/stderr
+/// directly (enforced by isum_lint); warnings funnel through here so
+/// embedders can redirect or silence them.
+using LogSink = std::function<void(const std::string& message)>;
+
+/// Replaces the process-wide warning sink; pass nullptr to restore the
+/// default (stderr). Returns the previous sink. Not thread-safe with
+/// concurrent LogWarning calls; install sinks during startup.
+LogSink SetLogSink(LogSink sink);
+
+/// Emits a one-line warning to the installed sink (default: stderr, with a
+/// trailing newline appended).
+void LogWarning(const std::string& message);
+
+}  // namespace isum
+
+#endif  // ISUM_COMMON_LOG_H_

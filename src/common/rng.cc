@@ -1,7 +1,8 @@
 #include "common/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace isum {
 
@@ -36,7 +37,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextUint64(uint64_t bound) {
-  assert(bound > 0);
+  ISUM_CHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {
@@ -46,7 +47,7 @@ uint64_t Rng::NextUint64(uint64_t bound) {
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  ISUM_CHECK(lo <= hi);
   return lo + static_cast<int64_t>(
                   NextUint64(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -101,7 +102,7 @@ Rng Rng::Fork(uint64_t stream_id) const {
 }
 
 ZipfSampler::ZipfSampler(uint64_t n, double skew) : n_(n), skew_(skew) {
-  assert(n >= 1);
+  ISUM_CHECK(n >= 1);
   h_x1_ = H(1.5) - 1.0;
   h_n_ = H(static_cast<double>(n) + 0.5);
   s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -skew));

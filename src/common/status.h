@@ -1,10 +1,11 @@
 #ifndef ISUM_COMMON_STATUS_H_
 #define ISUM_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace isum {
 
@@ -25,7 +26,9 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. Copyable and cheap when OK.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides errors; discard explicitly
+/// with a justified NOLINT if a call is truly infallible at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -70,30 +73,31 @@ class Status {
 };
 
 /// Holds either a value of type T or an error Status. Accessing the value of
-/// an errored StatusOr is a programming error (asserts in debug builds).
+/// an errored StatusOr is a programming error (ISUM_CHECK — enforced in all
+/// build types, including NDEBUG).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (mirrors absl::StatusOr ergonomics).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from a non-OK status.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    ISUM_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    ISUM_CHECK_MSG(ok(), status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    ISUM_CHECK_MSG(ok(), status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    ISUM_CHECK_MSG(ok(), status_.ToString());
     return std::move(*value_);
   }
 

@@ -1,7 +1,8 @@
 #include "core/incremental.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace isum::core {
 
@@ -72,7 +73,7 @@ void IncrementalIsum::Reselect(std::vector<Candidate> pool) {
 }
 
 void IncrementalIsum::ObserveBatch(size_t begin, size_t end) {
-  assert(end <= workload_->size());
+  ISUM_CHECK(end <= workload_->size());
   std::vector<Candidate> pool = selected_;
   for (size_t i = begin; i < end; ++i) {
     const workload::QueryInfo& q = workload_->query(i);

@@ -55,7 +55,7 @@ class Parser {
   StatusOr<std::vector<TableRef>> ParseFromClause(
       std::vector<ExpressionPtr>* join_conjuncts);
   StatusOr<TableRef> ParseTableRef();
-  StatusOr<ExpressionPtr> ParseExpression() { return ParseOr(); }
+  StatusOr<ExpressionPtr> ParseExpression();
   StatusOr<ExpressionPtr> ParseOr();
   StatusOr<ExpressionPtr> ParseAnd();
   StatusOr<ExpressionPtr> ParseNot();
@@ -68,7 +68,27 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
+
+// Every recursive cycle in the grammar (parenthesized expressions, function
+// arguments, subqueries) re-enters ParseExpression, so bounding it here
+// bounds total parser recursion. 200 levels is far beyond any real workload
+// query but shallow enough that the ~9 frames per level stay well inside the
+// stack even with sanitizer-inflated frame sizes.
+constexpr int kMaxExpressionDepth = 200;
+
+StatusOr<ExpressionPtr> Parser::ParseExpression() {
+  if (expr_depth_ >= kMaxExpressionDepth) {
+    return Status::ParseError(
+        StrFormat("expression nesting deeper than %d levels at offset %zu",
+                  kMaxExpressionDepth, Peek().offset));
+  }
+  ++expr_depth_;
+  StatusOr<ExpressionPtr> result = ParseOr();
+  --expr_depth_;
+  return result;
+}
 
 StatusOr<SelectStatement> Parser::ParseStatement() {
   ISUM_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelectBody());

@@ -1,7 +1,6 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace isum::stats {

@@ -1,8 +1,8 @@
 #include <cmath>
-#include <cstdio>
 
-#include "common/string_util.h"
 #include "catalog/schema_builder.h"
+#include "common/log.h"
+#include "common/string_util.h"
 #include "stats/data_generator.h"
 #include "workload/generator/recipe.h"
 #include "workload/workload_factory.h"
@@ -168,8 +168,7 @@ GeneratedWorkload MakeRealM(const GeneratorOptions& options) {
         gen::InstantiateSql(recipe, *out.catalog, *out.stats, r);
     const Status st = out.workload->AddQuery(sql, recipe.tag);
     if (!st.ok()) {
-      std::fprintf(stderr, "Real-M template failed: %s\nSQL: %s\n",
-                   st.ToString().c_str(), sql.c_str());
+      LogWarning("Real-M template failed: " + st.ToString() + "\nSQL: " + sql);
     }
   };
   const int instances = options.instances_per_template;

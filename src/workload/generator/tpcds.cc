@@ -1,5 +1,4 @@
-#include <cstdio>
-
+#include "common/log.h"
 #include "workload/generator/star_schema.h"
 #include "workload/workload_factory.h"
 
@@ -20,8 +19,8 @@ void Instantiate(const std::vector<gen::TemplateRecipe>& recipes, int instances,
                                                   *out->stats, template_rng);
       const Status st = out->workload->AddQuery(sql, recipes[ti].tag);
       if (!st.ok()) {
-        std::fprintf(stderr, "%s template %zu failed: %s\nSQL: %s\n",
-                     out->name.c_str(), ti, st.ToString().c_str(), sql.c_str());
+        LogWarning(out->name + " template " + std::to_string(ti) +
+                   " failed: " + st.ToString() + "\nSQL: " + sql);
       }
     }
   }

@@ -1,8 +1,8 @@
 #include <cmath>
-#include <cstdio>
 #include <functional>
 
 #include "catalog/schema_builder.h"
+#include "common/log.h"
 #include "common/string_util.h"
 #include "sql/binder.h"
 #include "stats/data_generator.h"
@@ -488,8 +488,9 @@ GeneratedWorkload MakeTpch(const GeneratorOptions& options) {
       const Status st = out.workload->AddQuery(sql, StrFormat("Q%zu", ti + 1));
       // Generator templates are tested; a failure here is a bug.
       if (!st.ok()) {
-        std::fprintf(stderr, "TPC-H template %zu failed: %s\nSQL: %s\n", ti + 1,
-                     st.ToString().c_str(), sql.c_str());
+        LogWarning(StrFormat("TPC-H template %zu failed: %s\nSQL:\n", ti + 1,
+                             st.ToString().c_str()) +
+                   sql);
       }
     }
   }

@@ -36,6 +36,25 @@ TEST(Catalog, DuplicateColumnRejected) {
   EXPECT_EQ(t->AddColumn(c2).status().code(), StatusCode::kAlreadyExists);
 }
 
+TEST(SchemaBuilderDeathTest, DuplicateTableFailsEvenUnderNdebug) {
+  // Regression: these guards were assert()-only, so the default
+  // RelWithDebInfo (NDEBUG) build silently returned a builder wrapping a
+  // stale table. ISUM_CHECK must fire in every build type.
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  b.Table("t", 100).Col("a", ColumnType::kInt);
+  EXPECT_DEATH(b.Table("T", 200), "duplicate table in SchemaBuilder: T");
+}
+
+TEST(SchemaBuilderDeathTest, DuplicateColumnFailsEvenUnderNdebug) {
+  Catalog cat;
+  SchemaBuilder b(&cat);
+  EXPECT_DEATH(b.Table("t", 100)
+                   .Col("a", ColumnType::kInt)
+                   .Col("A", ColumnType::kBigInt),
+               "duplicate column in SchemaBuilder: A");
+}
+
 TEST(Catalog, ColumnOrdinalsAreDense) {
   Catalog cat;
   Table* t = cat.CreateTable("t", 1).value();

@@ -1,0 +1,68 @@
+// Tests for the contract macros in common/check.h. The default build defines
+// NDEBUG (RelWithDebInfo), which is exactly the configuration where assert()
+// vanishes — these tests pin down that ISUM_CHECK* do not.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace isum {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  ISUM_CHECK(1 + 1 == 2);
+  ISUM_CHECK_MSG(true, "never printed");
+  int x = 3;
+  ISUM_DCHECK(x == 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsEvenUnderNdebug) {
+  EXPECT_DEATH(ISUM_CHECK(2 + 2 == 5), "check failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgPrintsDetail) {
+  EXPECT_DEATH(ISUM_CHECK_MSG(false, std::string("k=") + "42"),
+               "check failed: false \\(k=42\\)");
+}
+
+TEST(Check, CheckOkPassesOnOkStatus) {
+  ISUM_CHECK_OK(Status::OK());
+  StatusOr<int> ok_value(7);
+  ISUM_CHECK_OK(ok_value);
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatusMessage) {
+  EXPECT_DEATH(ISUM_CHECK_OK(Status::InvalidArgument("bad knob")),
+               "InvalidArgument: bad knob");
+  StatusOr<int> err(Status::NotFound("no such index"));
+  EXPECT_DEATH(ISUM_CHECK_OK(err), "NotFound: no such index");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(ISUM_UNREACHABLE(), "unreachable code");
+}
+
+TEST(CheckDeathTest, StatusOrValueOnErrorAbortsEvenUnderNdebug) {
+  // Regression: this used to be assert()-guarded, i.e. UB in release builds.
+  StatusOr<int> err(Status::ParseError("broken SQL"));
+  EXPECT_DEATH({ [[maybe_unused]] int v = err.value(); },
+               "ParseError: broken SQL");
+}
+
+TEST(Check, DcheckIsCompiledOutUnderNdebug) {
+  bool evaluated = false;
+  auto touch = [&]() {
+    evaluated = true;
+    return true;
+  };
+  ISUM_DCHECK(touch());
+#ifdef NDEBUG
+  EXPECT_FALSE(evaluated);  // release: condition must not even be evaluated
+#else
+  EXPECT_TRUE(evaluated);
+#endif
+}
+
+}  // namespace
+}  // namespace isum

@@ -1,0 +1,228 @@
+// Unit tests for the isum_lint rule engine (tools/lint). These drive
+// LintFile over in-memory snippets; the whole-tree scan itself runs as the
+// separate `isum_lint_src` ctest entry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tools/lint/lint.h"
+
+namespace isum::lint {
+namespace {
+
+std::vector<Violation> Lint(const std::string& path,
+                            const std::string& content,
+                            const StatusApi& api = {}) {
+  std::vector<Violation> out;
+  LintFile(path, content, api, &out);
+  return out;
+}
+
+bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+TEST(LintStrip, RemovesCommentsAndLiteralContents) {
+  bool in_block = false;
+  EXPECT_EQ(StripCommentsAndLiterals("int a;  // assert(x)", &in_block),
+            "int a;  ");
+  EXPECT_EQ(StripCommentsAndLiterals("f(\"assert(x)\");", &in_block),
+            "f(\"         \");");
+  EXPECT_EQ(StripCommentsAndLiterals("a /* b", &in_block), "a ");
+  EXPECT_TRUE(in_block);
+  EXPECT_EQ(StripCommentsAndLiterals("still */ c", &in_block), " c");
+  EXPECT_FALSE(in_block);
+}
+
+TEST(LintNoAssert, FlagsAssertAndAbortButNotStaticAssert) {
+  const auto vs = Lint("src/x.cc",
+                       "void F() {\n"
+                       "  assert(x > 0);\n"
+                       "  abort();\n"
+                       "  static_assert(sizeof(int) == 4);\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "isum-no-assert");
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_EQ(vs[1].line, 3);
+}
+
+TEST(LintNoAssert, IgnoresCommentsAndStrings) {
+  const auto vs = Lint("src/x.cc",
+                       "// use assert(x) here\n"
+                       "const char* s = \"abort()\";\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintNoStdio, FlagsPrintfFamilyAndStreams) {
+  const auto vs = Lint("src/x.cc",
+                       "void F() {\n"
+                       "  printf(\"hi\");\n"
+                       "  std::fprintf(stderr, \"x\");\n"
+                       "  std::cout << 1;\n"
+                       "  std::cerr << 2;\n"
+                       "}\n");
+  EXPECT_EQ(vs.size(), 4u);
+  EXPECT_TRUE(HasRule(vs, "isum-no-stdio"));
+}
+
+TEST(LintNoStdio, AllowsSnprintfFormatting) {
+  const auto vs = Lint("src/x.cc",
+                       "int n = std::snprintf(buf, sizeof(buf), \"%d\", 7);\n"
+                       "int m = std::vsnprintf(out.data(), n, fmt, args);\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintNondeterminism, FlagsRandFamilyOutsideRng) {
+  const auto vs = Lint("src/core/x.cc",
+                       "int a = rand();\n"
+                       "std::random_device rd;\n");
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(HasRule(vs, "isum-no-nondeterminism"));
+}
+
+TEST(LintNondeterminism, ExemptsRngImplementation) {
+  const auto vs = Lint("src/common/rng.cc", "int a = rand();\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintNondeterminism, FlagsClockReadsOnlyInCore) {
+  const std::string snippet =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(HasRule(Lint("src/core/isum.cc", snippet),
+                      "isum-no-nondeterminism"));
+  EXPECT_TRUE(Lint("src/engine/what_if.cc", snippet).empty());
+}
+
+TEST(LintIncludeGuard, AcceptsCanonicalGuard) {
+  const auto vs = Lint("src/catalog/catalog.h",
+                       "#ifndef ISUM_CATALOG_CATALOG_H_\n"
+                       "#define ISUM_CATALOG_CATALOG_H_\n"
+                       "#endif  // ISUM_CATALOG_CATALOG_H_\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintIncludeGuard, FlagsWrongOrMissingGuard) {
+  EXPECT_TRUE(HasRule(Lint("src/catalog/catalog.h",
+                           "#ifndef CATALOG_H\n#define CATALOG_H\n#endif\n"),
+                      "isum-include-guard"));
+  EXPECT_TRUE(HasRule(Lint("src/catalog/catalog.h", "int x;\n"),
+                      "isum-include-guard"));
+  // Tools keep their tools/ prefix.
+  EXPECT_TRUE(Lint("tools/lint/lint.h",
+                   "#ifndef ISUM_TOOLS_LINT_LINT_H_\n"
+                   "#define ISUM_TOOLS_LINT_LINT_H_\n"
+                   "#endif\n")
+                  .empty());
+}
+
+TEST(LintOverride, FlagsVirtualInDerivedClass) {
+  const auto vs = Lint("src/x.h",
+                       "#ifndef ISUM_X_H_\n"
+                       "#define ISUM_X_H_\n"
+                       "class D : public B {\n"
+                       " public:\n"
+                       "  virtual void F();\n"
+                       "  void G() override;\n"
+                       "  virtual ~D();\n"
+                       "};\n"
+                       "#endif  // ISUM_X_H_\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-missing-override");
+  EXPECT_EQ(vs[0].line, 5);
+}
+
+TEST(LintOverride, IgnoresBaseClassVirtuals) {
+  const auto vs = Lint("src/x.h",
+                       "#ifndef ISUM_X_H_\n"
+                       "#define ISUM_X_H_\n"
+                       "class B {\n"
+                       " public:\n"
+                       "  virtual void F() = 0;\n"
+                       "  virtual ~B() = default;\n"
+                       "};\n"
+                       "#endif  // ISUM_X_H_\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintStatus, CollectsStatusReturningNames) {
+  StatusApi api;
+  CollectStatusApi(
+      "Status Open(const std::string& path);\n"
+      "StatusOr<Table*> CreateTable(const std::string& name);\n"
+      "StatusOr<std::vector<int>> Parse(const std::string& sql);\n"
+      "void NotCollected();\n",
+      &api);
+  const auto& names = api.function_names;
+  EXPECT_NE(std::find(names.begin(), names.end(), "Open"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "CreateTable"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Parse"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "NotCollected"),
+            names.end());
+}
+
+TEST(LintStatus, FlagsVoidLaunderedStatusCalls) {
+  StatusApi api;
+  api.function_names = {"AddColumn"};
+  const auto vs = Lint("src/x.cc",
+                       "void F() {\n"
+                       "  (void)table->AddColumn(c);\n"
+                       "  (void)Unrelated(c);\n"
+                       "}\n",
+                       api);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-unchecked-status");
+  EXPECT_EQ(vs[0].line, 2);
+}
+
+TEST(LintStatus, RequiresNodiscardOnStatusClasses) {
+  const std::string guard_ok =
+      "#ifndef ISUM_COMMON_STATUS_H_\n#define ISUM_COMMON_STATUS_H_\n";
+  EXPECT_TRUE(HasRule(Lint("src/common/status.h",
+                           guard_ok + "class Status {\n};\n#endif\n"),
+                      "isum-unchecked-status"));
+  EXPECT_TRUE(Lint("src/common/status.h",
+                   guard_ok +
+                       "class [[nodiscard]] Status {\n};\n"
+                       "template <typename T>\n"
+                       "class [[nodiscard]] StatusOr {\n};\n#endif\n")
+                  .empty());
+}
+
+TEST(LintNolint, SameLineAndNextLineSuppression) {
+  EXPECT_TRUE(Lint("src/x.cc", "abort();  // NOLINT(isum-no-assert)\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/x.cc",
+                   "// NOLINTNEXTLINE(isum-no-assert)\n"
+                   "abort();\n")
+                  .empty());
+  // Blanket NOLINT suppresses every rule on the line.
+  EXPECT_TRUE(Lint("src/x.cc", "abort();  // NOLINT\n").empty());
+  // A NOLINT for a different rule does not suppress.
+  EXPECT_FALSE(Lint("src/x.cc", "abort();  // NOLINT(isum-no-stdio)\n")
+                   .empty());
+}
+
+TEST(LintOutput, ViolationFormatsAsFileLineCol) {
+  const auto vs = Lint("src/x.cc", "abort();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].ToString(), "src/x.cc:1:1: [isum-no-assert] "
+                              "library code must not call abort() directly; "
+                              "use ISUM_CHECK or return a Status");
+}
+
+TEST(LintRules, KnownRulesListsAllSixRules) {
+  const auto rules = KnownRules();
+  EXPECT_EQ(rules.size(), 6u);
+  for (const char* r :
+       {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
+        "isum-include-guard", "isum-missing-override",
+        "isum-unchecked-status"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
+  }
+}
+
+}  // namespace
+}  // namespace isum::lint

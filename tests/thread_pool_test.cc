@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <optional>
 
 #include "advisor/advisor.h"
@@ -38,6 +39,33 @@ TEST(ThreadPool, SingleThreadWorks) {
   std::atomic<int> total{0};
   pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ReducedResultsBitIdenticalAcrossThreadCounts) {
+  // Determinism contract from the header: workers fill disjoint slots and
+  // the caller reduces by index, so the reduced value must be bit-identical
+  // for any thread count — including non-associative float accumulation.
+  constexpr size_t kItems = 10'000;
+  auto run = [&](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(kItems);
+    pool.ParallelFor(kItems, [&](size_t i) {
+      // Deliberately rounding-sensitive per-item work.
+      const double x = static_cast<double>(i) + 1.0;
+      slots[i] = 1.0 / x + 1e-9 * x * x;
+    });
+    double reduced = 0.0;
+    for (double v : slots) reduced += v;  // fixed order: by index
+    return reduced;
+  };
+  const double r1 = run(1);
+  const double r2 = run(2);
+  const double r8 = run(8);
+  // Bit-identical, not just approximately equal.
+  EXPECT_EQ(std::memcmp(&r1, &r2, sizeof(double)), 0)
+      << r1 << " vs " << r2;
+  EXPECT_EQ(std::memcmp(&r1, &r8, sizeof(double)), 0)
+      << r1 << " vs " << r8;
 }
 
 TEST(ParallelAdvisor, SameRecommendationForAnyThreadCount) {

@@ -1,0 +1,453 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace isum::lint {
+
+namespace {
+
+constexpr const char kNoAssert[] = "isum-no-assert";
+constexpr const char kNoStdio[] = "isum-no-stdio";
+constexpr const char kNoNondeterminism[] = "isum-no-nondeterminism";
+constexpr const char kIncludeGuard[] = "isum-include-guard";
+constexpr const char kMissingOverride[] = "isum-missing-override";
+constexpr const char kUncheckedStatus[] = "isum-unchecked-status";
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Returns the 0-based index of `token` in `line` at a word boundary (the
+/// characters around the match are not identifier characters), or npos.
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0) {
+  size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Like FindToken but requires the token to be a call: the next
+/// non-whitespace character after the token must be '('.
+size_t FindCall(const std::string& line, const std::string& token) {
+  size_t pos = FindToken(line, token);
+  while (pos != std::string::npos) {
+    size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '(') return pos;
+    pos = FindToken(line, token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Parses a NOLINT / NOLINTNEXTLINE directive out of a raw source line.
+/// Returns true if one is present; fills `rules` with the slugs listed in
+/// parentheses (empty => suppress every rule).
+bool ParseNolint(const std::string& raw, const char* directive,
+                 std::vector<std::string>* rules) {
+  const size_t pos = raw.find(directive);
+  if (pos == std::string::npos) return false;
+  rules->clear();
+  const size_t open = pos + std::string(directive).size();
+  if (open >= raw.size() || raw[open] != '(') return true;  // blanket form
+  const size_t close = raw.find(')', open);
+  if (close == std::string::npos) return true;
+  std::string inside = raw.substr(open + 1, close - open - 1);
+  std::string current;
+  for (char c : inside + ",") {
+    if (c == ',') {
+      const std::string t(Trim(current));
+      if (!t.empty()) rules->push_back(t);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return true;
+}
+
+bool Suppressed(const std::vector<std::string>& rules, const char* rule) {
+  return rules.empty() ||
+         std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+/// Expected include guard for a path: strip a leading "src/", uppercase,
+/// map non-alphanumerics to '_', prefix ISUM_ and close with '_'.
+/// "src/catalog/catalog.h" -> "ISUM_CATALOG_CATALOG_H_".
+std::string ExpectedGuard(const std::string& path) {
+  std::string p = path;
+  // Repo-relative tail: after the last "src/" component (library code), or
+  // from the "tools/" component (developer tools keep the tools/ prefix).
+  const size_t s = p.rfind("src/");
+  if (s != std::string::npos && (s == 0 || p[s - 1] == '/')) {
+    p = p.substr(s + 4);
+  } else {
+    const size_t t = p.rfind("tools/");
+    if (t != std::string::npos && (t == 0 || p[t - 1] == '/')) p = p.substr(t);
+  }
+  std::string guard = "ISUM_";
+  for (char c : p) {
+    guard += IsIdentChar(c) ? static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c)))
+                            : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+/// True if `name` appears immediately before the first '(' that follows a
+/// `(void)` cast at `void_pos` — i.e. the cast discards a call to `name`.
+bool VoidCastTargets(const std::string& code, size_t void_pos,
+                     const std::vector<std::string>& names,
+                     std::string* hit) {
+  size_t cursor = void_pos + 6;  // past "(void)"
+  const size_t open = code.find('(', cursor);
+  if (open == std::string::npos) return false;
+  // Trailing identifier of the callee expression, e.g. "catalog_->CreateTable".
+  size_t end = open;
+  while (end > cursor && code[end - 1] == ' ') --end;
+  size_t begin = end;
+  while (begin > cursor && IsIdentChar(code[begin - 1])) --begin;
+  const std::string callee = code.substr(begin, end - begin);
+  if (callee.empty()) return false;
+  for (const auto& n : names) {
+    if (callee == n) {
+      *hit = callee;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct ClassContext {
+  bool has_base = false;
+  int open_depth = 0;  // brace depth at which the class body was entered
+};
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ":" << column << ": [" << rule << "] "
+     << message;
+  return os.str();
+}
+
+std::vector<std::string> KnownRules() {
+  return {kNoAssert,     kNoStdio,         kNoNondeterminism,
+          kIncludeGuard, kMissingOverride, kUncheckedStatus};
+}
+
+std::string StripCommentsAndLiterals(const std::string& line,
+                                     bool* in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out += ' ';
+        ++i;
+      }
+      if (i < line.size()) out += quote;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void CollectStatusApi(const std::string& content, StatusApi* api) {
+  std::istringstream in(content);
+  std::string raw;
+  bool in_block = false;
+  while (std::getline(in, raw)) {
+    const std::string code = StripCommentsAndLiterals(raw, &in_block);
+    // Match "Status Name(" or "StatusOr<...> Name(" declarations.
+    for (const char* ret : {"Status", "StatusOr"}) {
+      size_t pos = FindToken(code, ret);
+      if (pos == std::string::npos) continue;
+      size_t cursor = pos + std::string(ret).size();
+      if (cursor < code.size() && code[cursor] == '<') {
+        int angle = 1;
+        ++cursor;
+        while (cursor < code.size() && angle > 0) {
+          if (code[cursor] == '<') ++angle;
+          if (code[cursor] == '>') --angle;
+          ++cursor;
+        }
+        if (angle != 0) continue;  // template args span lines; skip
+      } else if (std::string(ret) == "StatusOr") {
+        continue;  // bare "StatusOr" without template args is not a return
+      }
+      while (cursor < code.size() && (code[cursor] == ' ' || code[cursor] == '&' ||
+                                      code[cursor] == '*')) {
+        ++cursor;
+      }
+      size_t name_end = cursor;
+      while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+      if (name_end == cursor) continue;
+      size_t paren = name_end;
+      while (paren < code.size() && code[paren] == ' ') ++paren;
+      if (paren >= code.size() || code[paren] != '(') continue;
+      const std::string name = code.substr(cursor, name_end - cursor);
+      auto& names = api->function_names;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+}
+
+void LintFile(const std::string& path, const std::string& content,
+              const StatusApi& api, std::vector<Violation>* out) {
+  const bool is_header = path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+  const bool is_rng = path.find("common/rng.") != std::string::npos;
+  const bool is_core = path.find("src/core/") != std::string::npos;
+
+  auto add = [&](int line, size_t col, const char* rule, std::string msg) {
+    out->push_back(Violation{path, line, static_cast<int>(col) + 1, rule,
+                             std::move(msg)});
+  };
+
+  std::istringstream in(content);
+  std::string raw;
+  int line_no = 0;
+  bool in_block = false;
+  int brace_depth = 0;
+  std::vector<ClassContext> class_stack;
+  std::vector<std::string> nolint_next;  // rules from NOLINTNEXTLINE
+  bool have_nolint_next = false;
+  std::string first_ifndef, first_define;
+  int ifndef_line = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+
+    std::vector<std::string> nolint_rules;
+    const bool has_nolint = ParseNolint(raw, "NOLINT", &nolint_rules);
+    std::vector<std::string> next_rules;
+    const bool has_next = ParseNolint(raw, "NOLINTNEXTLINE", &next_rules);
+    // "NOLINTNEXTLINE" also contains "NOLINT"; it must not suppress its own
+    // line unless a same-line NOLINT is separately present.
+    const bool self_suppress =
+        has_nolint && raw.find("NOLINT") != raw.find("NOLINTNEXTLINE");
+    auto active = [&](const char* rule) {
+      if (self_suppress && Suppressed(nolint_rules, rule)) return false;
+      if (have_nolint_next && Suppressed(nolint_next, rule)) return false;
+      return true;
+    };
+
+    const std::string code = StripCommentsAndLiterals(raw, &in_block);
+
+    // --- include guard bookkeeping (headers only) ---
+    if (is_header && first_ifndef.empty()) {
+      const size_t p = code.find("#ifndef");
+      if (p != std::string::npos) {
+        first_ifndef = std::string(Trim(code.substr(p + 7)));
+        ifndef_line = line_no;
+      }
+    } else if (is_header && !first_ifndef.empty() && first_define.empty()) {
+      const size_t p = code.find("#define");
+      if (p != std::string::npos) {
+        first_define = std::string(Trim(code.substr(p + 7)));
+      }
+    }
+
+    // --- isum-no-assert ---
+    if (active(kNoAssert)) {
+      const size_t a = FindCall(code, "assert");
+      if (a != std::string::npos) {
+        add(line_no, a, kNoAssert,
+            "assert() is compiled out under NDEBUG; use ISUM_CHECK / "
+            "ISUM_DCHECK from common/check.h");
+      }
+      const size_t b = FindCall(code, "abort");
+      if (b != std::string::npos) {
+        add(line_no, b, kNoAssert,
+            "library code must not call abort() directly; use ISUM_CHECK "
+            "or return a Status");
+      }
+    }
+
+    // --- isum-no-stdio ---
+    if (active(kNoStdio)) {
+      for (const char* tok : {"printf", "fprintf", "puts", "putchar"}) {
+        const size_t p = FindCall(code, tok);
+        if (p != std::string::npos) {
+          add(line_no, p, kNoStdio,
+              std::string(tok) +
+                  "() writes to stdio from library code; use "
+                  "LogWarning() (common/log.h) or return data");
+        }
+      }
+      for (const char* tok : {"cout", "cerr"}) {
+        const size_t p = FindToken(code, tok);
+        if (p != std::string::npos) {
+          add(line_no, p, kNoStdio,
+              std::string("std::") + tok +
+                  " in library code; use LogWarning() (common/log.h) or "
+                  "return data");
+        }
+      }
+    }
+
+    // --- isum-no-nondeterminism ---
+    if (active(kNoNondeterminism) && !is_rng) {
+      for (const char* tok : {"rand", "srand", "random_shuffle"}) {
+        const size_t p = FindCall(code, tok);
+        if (p != std::string::npos) {
+          add(line_no, p, kNoNondeterminism,
+              std::string(tok) +
+                  "() is nondeterministic; use isum::Rng (common/rng.h) "
+                  "with an explicit seed");
+        }
+      }
+      const size_t rd = FindToken(code, "random_device");
+      if (rd != std::string::npos) {
+        add(line_no, rd, kNoNondeterminism,
+            "std::random_device is nondeterministic; use isum::Rng with an "
+            "explicit seed");
+      }
+      if (is_core) {
+        const size_t now = code.find("::now(");
+        if (now != std::string::npos) {
+          add(line_no, now, kNoNondeterminism,
+              "clock reads are banned in core compression algorithms "
+              "(results must not depend on wall time); thread timing "
+              "through the caller");
+        }
+      }
+    }
+
+    // --- isum-unchecked-status: (void)-laundered Status-returning calls ---
+    if (active(kUncheckedStatus)) {
+      size_t v = code.find("(void)");
+      while (v != std::string::npos) {
+        std::string hit;
+        if (VoidCastTargets(code, v, api.function_names, &hit)) {
+          add(line_no, v, kUncheckedStatus,
+              "(void)-cast discards the Status returned by " + hit +
+                  "(); handle it, ISUM_CHECK_OK it, or justify with NOLINT");
+        }
+        v = code.find("(void)", v + 1);
+      }
+    }
+
+    // --- isum-missing-override (heuristic, line-based) ---
+    if (active(kMissingOverride)) {
+      const bool in_derived = !class_stack.empty() &&
+                              class_stack.back().has_base &&
+                              brace_depth == class_stack.back().open_depth + 1;
+      if (in_derived && FindToken(code, "virtual") != std::string::npos &&
+          code.find('(') != std::string::npos &&
+          code.find('~') == std::string::npos &&
+          FindToken(code, "override") == std::string::npos &&
+          FindToken(code, "final") == std::string::npos) {
+        add(line_no, FindToken(code, "virtual"), kMissingOverride,
+            "virtual member of a derived class should be marked override");
+      }
+    }
+
+    // --- class/brace bookkeeping (after rules so the opening line itself
+    //     is attributed to the enclosing scope) ---
+    {
+      const size_t cls = std::min(FindToken(code, "class"),
+                                  FindToken(code, "struct"));
+      if (cls != std::string::npos && code.find('{') != std::string::npos &&
+          code.find(';') == std::string::npos) {
+        ClassContext ctx;
+        const std::string between =
+            code.substr(cls, code.find('{') - cls);
+        ctx.has_base = between.find(" : ") != std::string::npos ||
+                       between.find(": public") != std::string::npos ||
+                       between.find(": protected") != std::string::npos ||
+                       between.find(": private") != std::string::npos;
+        ctx.open_depth = brace_depth;
+        class_stack.push_back(ctx);
+      }
+      for (char c : code) {
+        if (c == '{') ++brace_depth;
+        if (c == '}') {
+          --brace_depth;
+          if (!class_stack.empty() &&
+              brace_depth == class_stack.back().open_depth) {
+            class_stack.pop_back();
+          }
+        }
+      }
+    }
+
+    have_nolint_next = has_next;
+    nolint_next = next_rules;
+  }
+
+  // --- include guard verdict ---
+  if (is_header) {
+    const std::string expected = ExpectedGuard(path);
+    if (first_ifndef.empty()) {
+      add(1, 0, kIncludeGuard, "missing include guard " + expected);
+    } else if (first_ifndef != expected) {
+      add(ifndef_line, 0, kIncludeGuard,
+          "include guard is " + first_ifndef + ", expected " + expected);
+    } else if (first_define != expected) {
+      add(ifndef_line, 0, kIncludeGuard,
+          "#define after #ifndef " + expected + " is missing or mismatched");
+    }
+  }
+
+  // --- isum-unchecked-status: status.h must keep its [[nodiscard]]s ---
+  const std::string status_h = "src/common/status.h";
+  if (path.size() >= status_h.size() &&
+      path.compare(path.size() - status_h.size(), status_h.size(),
+                   status_h) == 0) {
+    bool block = false;
+    std::istringstream again(content);
+    int ln = 0;
+    while (std::getline(again, raw)) {
+      ++ln;
+      const std::string code = StripCommentsAndLiterals(raw, &block);
+      for (const char* cls : {"class Status ", "class Status{",
+                              "class StatusOr "}) {
+        if (code.find(cls) != std::string::npos &&
+            code.find("[[nodiscard]]") == std::string::npos) {
+          add(ln, 0, kUncheckedStatus,
+              "Status/StatusOr must be declared [[nodiscard]] so dropped "
+              "errors fail the -Werror build");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace isum::lint

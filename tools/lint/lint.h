@@ -1,0 +1,53 @@
+#ifndef ISUM_TOOLS_LINT_LINT_H_
+#define ISUM_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace isum::lint {
+
+/// One rule violation at a source location. `rule` is the NOLINT slug
+/// (e.g. "isum-no-assert"); `message` explains the specific finding.
+struct Violation {
+  std::string file;
+  int line = 0;
+  int column = 1;
+  std::string rule;
+  std::string message;
+
+  /// Renders as "file:line:col: [rule] message" (machine-readable, one per
+  /// line; mirrors compiler diagnostics so editors can jump to it).
+  std::string ToString() const;
+};
+
+/// Names of every rule the checker knows, as accepted by NOLINT(...).
+std::vector<std::string> KnownRules();
+
+/// Function names declared in a header with a Status/StatusOr return type.
+/// Collected in a first pass over headers so the unchecked-status rule can
+/// flag `(void)`-laundered calls in a second pass.
+struct StatusApi {
+  std::vector<std::string> function_names;
+};
+
+/// Scans header `content` for Status/StatusOr-returning function
+/// declarations and records their names into `api`.
+void CollectStatusApi(const std::string& content, StatusApi* api);
+
+/// Lints one file's `content`. `path` is the repo-relative path (used both
+/// for reporting and for path-scoped rules, e.g. the include-guard pattern
+/// and the rng.cc exemption). Appends findings to `out`.
+void LintFile(const std::string& path, const std::string& content,
+              const StatusApi& api, std::vector<Violation>* out);
+
+/// Strips comments and string/character literals from one line of code,
+/// updating `in_block_comment` across calls. Exposed for tests. Characters
+/// inside literals are replaced with spaces so columns stay aligned;
+/// comment text is removed except that NOLINT directives are honored by the
+/// caller before stripping.
+std::string StripCommentsAndLiterals(const std::string& line,
+                                     bool* in_block_comment);
+
+}  // namespace isum::lint
+
+#endif  // ISUM_TOOLS_LINT_LINT_H_

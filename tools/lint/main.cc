@@ -1,0 +1,115 @@
+// isum_lint: repo-specific static checks for the ISUM library sources.
+//
+// Usage:
+//   isum_lint [--list-rules] <dir-or-file>...
+//
+// Scans the given directories (recursively; .h/.cc files) in two passes:
+// first collects Status/StatusOr-returning API names from headers, then
+// applies every rule. Violations print one per line as
+//   file:line:col: [isum-rule] message
+// and the exit code is 1 when any violation is found. Suppress a finding
+// with `// NOLINT(isum-rule)` on the offending line or
+// `// NOLINTNEXTLINE(isum-rule)` on the line above, with a justification.
+//
+// This binary is a developer tool, not library code; it may use stdio.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Path as reported in diagnostics: relative to the current directory when
+/// possible (so output matches what was passed on the command line), with
+/// forward slashes.
+std::string DisplayPath(const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, fs::current_path(), ec);
+  const fs::path& chosen = (!ec && !rel.empty()) ? rel : p;
+  return chosen.lexically_normal().generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : isum::lint::KnownRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: isum_lint [--list-rules] <dir-or-file>...\n");
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "isum_lint: no inputs; pass src/ or a file list\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "isum_lint: no such file or directory: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: learn which functions return Status/StatusOr.
+  isum::lint::StatusApi api;
+  for (const fs::path& f : files) {
+    if (f.extension() == ".h") isum::lint::CollectStatusApi(ReadFile(f), &api);
+  }
+
+  // Pass 2: lint.
+  std::vector<isum::lint::Violation> violations;
+  for (const fs::path& f : files) {
+    isum::lint::LintFile(DisplayPath(f), ReadFile(f), api, &violations);
+  }
+
+  for (const auto& v : violations) {
+    std::printf("%s\n", v.ToString().c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "isum_lint: %zu violation(s) in %zu file(s) scanned\n",
+                 violations.size(), files.size());
+    return 1;
+  }
+  std::printf("isum_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}
