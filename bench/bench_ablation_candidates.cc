@@ -10,6 +10,7 @@
 using namespace isum;
 
 int main(int argc, char** argv) {
+  isum::bench::ObsScope obs_scope(argc, argv);
   const bool csv = eval::WantCsv(argc, argv);
   const double scale = eval::ScaleArg(argc, argv);
 

@@ -30,6 +30,7 @@ double PartitionImprovementPercent(const workload::Workload& w,
 }  // namespace
 
 int main(int argc, char** argv) {
+  isum::bench::ObsScope obs_scope(argc, argv);
   const bool csv = eval::WantCsv(argc, argv);
   const double scale = eval::ScaleArg(argc, argv);
   const int mul = scale >= 2.0 ? 4 : 1;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "eval/pipeline.h"
 #include "eval/reporting.h"
@@ -14,6 +15,7 @@
 using namespace isum;
 
 int main(int argc, char** argv) {
+  isum::bench::ObsScope obs_scope(argc, argv);
   const bool csv = eval::WantCsv(argc, argv);
   const double scale = eval::ScaleArg(argc, argv);
 

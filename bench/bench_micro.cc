@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "advisor/advisor.h"
+#include "bench_util.h"
 #include "core/incremental.h"
 #include "core/isum.h"
 #include "engine/what_if.h"
@@ -168,4 +169,13 @@ BENCHMARK(BM_AdvisorTuneParallel)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace isum
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the shared --trace/--metrics flags (ObsScope strips
+// them from argv before google-benchmark's own flag parsing sees them).
+int main(int argc, char** argv) {
+  isum::bench::ObsScope obs_scope(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

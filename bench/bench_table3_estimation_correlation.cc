@@ -57,6 +57,7 @@ Signals ComputeSignals(const workload::Workload& w) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  isum::bench::ObsScope obs_scope(argc, argv);
   const bool csv = eval::WantCsv(argc, argv);
   const double scale = eval::ScaleArg(argc, argv);
   (void)scale;

@@ -5,7 +5,10 @@
 // table/figure). Not part of the library API.
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/gsum.h"
@@ -14,9 +17,81 @@
 #include "common/string_util.h"
 #include "eval/pipeline.h"
 #include "eval/reporting.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/workload_factory.h"
 
 namespace isum::bench {
+
+/// Uniform observability flags for every bench driver. Declare one at the
+/// top of main():
+///
+///   int main(int argc, char** argv) {
+///     isum::bench::ObsScope obs_scope(argc, argv);
+///     ...
+///
+/// Recognized flags (consumed from argv so downstream parsers — including
+/// google-benchmark's — never see them):
+///   --trace=<path>     record spans for the whole run; written as Chrome
+///                      trace JSON (open in Perfetto / chrome://tracing)
+///   --metrics=<path>   write a registry snapshot as JSONL at exit
+///
+/// Files are written from the destructor, after the driver's work joined.
+class ObsScope {
+ public:
+  ObsScope(int& argc, char** argv) {
+    obs::Tracer::Global().SetCurrentThreadName("main");
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trace=", 8) == 0) {
+        trace_path_ = arg + 8;
+      } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        metrics_path_ = arg + 10;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    if (!trace_path_.empty()) obs::Tracer::Global().Enable();
+  }
+
+  ~ObsScope() {
+    if (!trace_path_.empty()) {
+      obs::Tracer::Global().Disable();
+      const obs::TraceDump dump = obs::Tracer::Global().Drain();
+      Report(obs::WriteFile(trace_path_, obs::ChromeTraceJson(dump)),
+             trace_path_, dump.spans.size(), "spans");
+    }
+    if (!metrics_path_.empty()) {
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Global().Snapshot();
+      Report(obs::WriteFile(metrics_path_, obs::MetricsJsonl(snapshot)),
+             metrics_path_,
+             snapshot.counters.size() + snapshot.gauges.size() +
+                 snapshot.histograms.size(),
+             "metrics");
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  static void Report(const Status& status, const std::string& path,
+                     size_t items, const char* what) {
+    if (status.ok()) {
+      std::fprintf(stderr, "wrote %zu %s to %s\n", items, what, path.c_str());
+    } else {
+      std::fprintf(stderr, "obs export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 /// The six algorithms of Figure 9/10/12/15: Uniform, Cost, Stratified,
 /// GSUM, ISUM, ISUM-S.

@@ -8,11 +8,17 @@
 
 #include "advisor/enumerator.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace isum::advisor {
 
 TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
                                    const TuningOptions& options) const {
+  ISUM_TRACE_SPAN("advisor/tune");
+  static obs::Counter* const tuning_runs =
+      obs::MetricsRegistry::Global().GetCounter("advisor.tuning_runs");
+  tuning_runs->Add(1);
   const auto start = std::chrono::steady_clock::now();
   TuningResult result;
   if (queries.empty()) return result;
@@ -68,11 +74,14 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
       kept_per_query[q].push_back(candidates[improving[r].second]);
     }
   };
-  if (options.num_threads > 1) {
-    ThreadPool(static_cast<size_t>(options.num_threads))
-        .ParallelFor(queries.size(), select_for);
-  } else {
-    for (size_t q = 0; q < queries.size(); ++q) select_for(q);
+  {
+    ISUM_TRACE_SPAN("advisor/candidate-gen");
+    if (options.num_threads > 1) {
+      ThreadPool(static_cast<size_t>(options.num_threads))
+          .ParallelFor(queries.size(), select_for);
+    } else {
+      for (size_t q = 0; q < queries.size(); ++q) select_for(q);
+    }
   }
   result.configurations_explored += explored.load();
 
@@ -101,6 +110,7 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   result.initial_cost = enumerated.initial_cost;
   result.final_cost = enumerated.final_cost;
   result.optimizer_calls = what_if.optimizer_calls();
+  result.cache_hits = what_if.cache_hits();
   result.optimizer_seconds = what_if.optimizer_seconds();
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

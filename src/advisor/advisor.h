@@ -46,6 +46,8 @@ struct TuningOptions {
 struct TuningResult {
   engine::Configuration configuration;
   uint64_t optimizer_calls = 0;
+  /// What-if calls answered from the memo cache (no optimizer invocation).
+  uint64_t cache_hits = 0;
   uint64_t configurations_explored = 0;
   /// Seconds spent in real optimizer invocations (Figure 2a series).
   double optimizer_seconds = 0.0;

@@ -4,10 +4,17 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace isum::advisor {
 
 TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
                                       const DexterOptions& options) const {
+  ISUM_TRACE_SPAN("advisor/tune");
+  static obs::Counter* const tuning_runs =
+      obs::MetricsRegistry::Global().GetCounter("advisor.tuning_runs");
+  tuning_runs->Add(1);
   const auto start = std::chrono::steady_clock::now();
   TuningResult result;
   engine::WhatIfOptimizer what_if(cost_model_);
@@ -75,6 +82,7 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   result.initial_cost = initial;
   result.final_cost = final_cost;
   result.optimizer_calls = what_if.optimizer_calls();
+  result.cache_hits = what_if.cache_hits();
   result.optimizer_seconds = what_if.optimizer_seconds();
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

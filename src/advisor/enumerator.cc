@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace isum::advisor {
 
@@ -46,6 +48,12 @@ EnumerationResult GreedyEnumerate(
     uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
     std::optional<std::chrono::steady_clock::time_point> deadline,
     int num_threads) {
+  ISUM_TRACE_SPAN("advisor/enumerate");
+  static obs::Counter* const rounds_counter =
+      obs::MetricsRegistry::Global().GetCounter("advisor.enumeration_rounds");
+  static obs::Counter* const explored_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "advisor.configurations_explored");
   EnumerationResult result;
 
   // Per-query current cost under the growing configuration.
@@ -80,6 +88,8 @@ EnumerationResult GreedyEnumerate(
       eligible.push_back(i);
     }
     if (eligible.empty()) break;
+    rounds_counter->Add(1);
+    explored_counter->Add(eligible.size());
     result.configurations_explored += eligible.size();
 
     std::vector<CandidateEvaluation> evaluations(eligible.size());

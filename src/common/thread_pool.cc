@@ -1,14 +1,46 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace isum {
 
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* batches;
+  obs::Counter* tasks;
+  obs::Gauge* workers;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{registry.GetCounter("threadpool.batches"),
+                         registry.GetCounter("threadpool.tasks"),
+                         registry.GetGauge("threadpool.workers")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
+  PoolMetrics::Get().workers->Set(static_cast<double>(n));
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Tag the worker so spans it records (e.g. whatif/optimize during
+      // parallel enumeration) land on a named thread track in trace
+      // exports.
+      obs::Tracer::Global().SetCurrentThreadName("pool-worker-" +
+                                                 std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -44,6 +76,9 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  ISUM_TRACE_SPAN("threadpool/parallel_for");
+  PoolMetrics::Get().batches->Add(1);
+  PoolMetrics::Get().tasks->Add(n);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_fn_ = &fn;

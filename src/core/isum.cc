@@ -1,9 +1,38 @@
 #include "core/isum.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace isum::core {
 
+namespace {
+
+struct CompressMetrics {
+  obs::Counter* runs;
+  obs::Counter* input_queries;
+  obs::Counter* selected_queries;
+
+  static const CompressMetrics& Get() {
+    static const CompressMetrics m = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return CompressMetrics{registry.GetCounter("compress.runs"),
+                             registry.GetCounter("compress.input_queries"),
+                             registry.GetCounter("compress.selected_queries")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 SelectionResult Isum::Select(size_t k) const {
-  CompressionState state = MakeState();
+  CompressionState state = [this] {
+    // Featurization (and utility estimation) happens inside the
+    // CompressionState constructor; give it its own phase span.
+    ISUM_TRACE_SPAN("compress/feature-extraction");
+    return MakeState();
+  }();
+  ISUM_TRACE_SPAN("compress/greedy-pick");
   switch (options_.algorithm) {
     case SelectionAlgorithm::kAllPairs:
       return AllPairsGreedySelect(state, k, options_.update);
@@ -14,15 +43,25 @@ SelectionResult Isum::Select(size_t k) const {
 }
 
 workload::CompressedWorkload Isum::Compress(size_t k) const {
+  ISUM_TRACE_SPAN("compress/total");
+  const CompressMetrics& metrics = CompressMetrics::Get();
+  metrics.runs->Add(1);
+  metrics.input_queries->Add(workload_->size());
+
   const SelectionResult selection = Select(k);
-  const std::vector<double> weights =
-      WeighSelectedQueries(*workload_, selection, options_.featurization,
-                           options_.utility_mode, options_.weighing);
+  std::vector<double> weights;
+  {
+    ISUM_TRACE_SPAN("compress/weighing");
+    weights = WeighSelectedQueries(*workload_, selection,
+                                   options_.featurization,
+                                   options_.utility_mode, options_.weighing);
+  }
   workload::CompressedWorkload out;
   out.entries.reserve(selection.selected.size());
   for (size_t i = 0; i < selection.selected.size(); ++i) {
     out.entries.push_back({selection.selected[i], weights[i]});
   }
+  metrics.selected_queries->Add(out.entries.size());
   return out;
 }
 

@@ -2,28 +2,62 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace isum::engine {
+
+namespace {
+
+/// Process-wide mirrors of the per-instance counters, aggregated across
+/// every WhatIfOptimizer in the process (metric names in
+/// docs/OBSERVABILITY.md). Pointers are cached once; the registry owns them.
+struct WhatIfMetrics {
+  obs::Counter* calls;
+  obs::Counter* hits;
+  obs::Histogram* optimize_nanos;
+
+  static const WhatIfMetrics& Get() {
+    static const WhatIfMetrics m = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return WhatIfMetrics{registry.GetCounter("whatif.optimizer_calls"),
+                           registry.GetCounter("whatif.cache_hits"),
+                           registry.GetHistogram("whatif.optimize_nanos")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 double WhatIfOptimizer::Cost(const sql::BoundQuery& query,
                              const Configuration& config) {
+  const WhatIfMetrics& metrics = WhatIfMetrics::Get();
   const Key key{&query, config.StableHash()};
   Shard& shard = shards_[KeyHash()(key) % kShards];
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.cache.find(key);
     if (it != shard.cache.end()) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.Add(1);
+      metrics.hits->Add(1);
       return it->second;
     }
   }
-  const auto start = std::chrono::steady_clock::now();
-  const double cost = optimizer_.Cost(query, config);
-  const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-  optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
-  optimizer_nanos_.fetch_add(static_cast<uint64_t>(nanos),
-                             std::memory_order_relaxed);
+  uint64_t nanos = 0;
+  double cost = 0.0;
+  {
+    ISUM_TRACE_SPAN("whatif/optimize");
+    const auto start = std::chrono::steady_clock::now();
+    cost = optimizer_.Cost(query, config);
+    nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  optimizer_calls_.Add(1);
+  optimizer_nanos_.Add(nanos);
+  metrics.calls->Add(1);
+  metrics.optimize_nanos->Observe(nanos);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.cache.emplace(key, cost);

@@ -2,12 +2,12 @@
 #define ISUM_ENGINE_WHAT_IF_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 
 #include "engine/optimizer.h"
+#include "obs/metrics.h"
 
 namespace isum::engine {
 
@@ -38,19 +38,29 @@ class WhatIfOptimizer {
     return optimizer_.Optimize(query, config);
   }
 
-  /// Number of real optimizer invocations (cache misses).
-  uint64_t optimizer_calls() const { return optimizer_calls_.load(); }
+  /// Number of real optimizer invocations (cache misses). Thin view over
+  /// this instance's obs::Counter; the process-wide registry mirrors the
+  /// same events under "whatif.optimizer_calls" (docs/OBSERVABILITY.md).
+  uint64_t optimizer_calls() const { return optimizer_calls_.Value(); }
   /// Number of calls answered from the cache.
-  uint64_t cache_hits() const { return cache_hits_.load(); }
+  uint64_t cache_hits() const { return cache_hits_.Value(); }
   /// Wall-clock seconds spent inside real optimizer invocations (the "time
   /// on optimizer calls" series of the paper's Figure 2a). Accumulated
   /// across threads (sums concurrent work, like CPU time).
-  double optimizer_seconds() const { return optimizer_nanos_.load() * 1e-9; }
+  double optimizer_seconds() const {
+    return static_cast<double>(optimizer_nanos_.Value()) * 1e-9;
+  }
 
+  /// Zeroes the per-instance counters with atomic stores. Must not be
+  /// called concurrently with Cost(): a racing Cost() may split its
+  /// increments across the reset, leaving counters mutually inconsistent
+  /// (e.g. calls reset but its nanos kept). Quiesce callers first, as the
+  /// advisors do between phases. The registry-wide mirrors are monotonic
+  /// and unaffected.
   void ResetCounters() {
-    optimizer_calls_ = 0;
-    cache_hits_ = 0;
-    optimizer_nanos_ = 0;
+    optimizer_calls_.Reset();
+    cache_hits_.Reset();
+    optimizer_nanos_.Reset();
   }
   void ClearCache() {
     for (Shard& shard : shards_) {
@@ -80,9 +90,9 @@ class WhatIfOptimizer {
 
   Optimizer optimizer_;
   std::array<Shard, kShards> shards_;
-  std::atomic<uint64_t> optimizer_calls_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> optimizer_nanos_{0};
+  obs::Counter optimizer_calls_;
+  obs::Counter cache_hits_;
+  obs::Counter optimizer_nanos_;
 };
 
 }  // namespace isum::engine

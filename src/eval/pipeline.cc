@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "engine/optimizer.h"
+#include "obs/trace.h"
 
 namespace isum::eval {
 
@@ -32,13 +33,22 @@ EvaluationResult RunPipeline(const workload::Workload& workload,
     queries.push_back({&workload.query(e.query_index).bound, e.weight});
   }
 
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
   const auto start = std::chrono::steady_clock::now();
-  result.tuning = tuner(queries);
+  {
+    ISUM_TRACE_SPAN("pipeline/tune");
+    result.tuning = tuner(queries);
+  }
   result.tuning_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  result.improvement_percent =
-      WorkloadImprovementPercent(workload, result.tuning.configuration);
+  {
+    ISUM_TRACE_SPAN("pipeline/evaluate");
+    result.improvement_percent =
+        WorkloadImprovementPercent(workload, result.tuning.configuration);
+  }
+  result.metrics = obs::MetricsSnapshot::Delta(
+      before, obs::MetricsRegistry::Global().Snapshot());
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "advisor/dexter_advisor.h"
 #include "baselines/compressor.h"
 #include "core/isum.h"
+#include "obs/metrics.h"
 
 namespace isum::eval {
 
@@ -22,6 +23,11 @@ struct EvaluationResult {
   double tuning_seconds = 0.0;
   advisor::TuningResult tuning;
   workload::CompressedWorkload compressed;
+  /// Registry activity attributable to this pipeline run: the delta of
+  /// MetricsRegistry::Global() across tune + evaluate. In a single-threaded
+  /// driver, metrics.CounterValue("whatif.optimizer_calls") equals
+  /// tuning.optimizer_calls exactly (docs/OBSERVABILITY.md).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Improvement (%) of `workload` under `config`, using the workload's own

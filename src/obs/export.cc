@@ -1,0 +1,101 @@
+#include "obs/export.h"
+
+#include <fstream>
+
+#include "common/jsonl.h"
+#include "common/string_util.h"
+
+namespace isum::obs {
+
+namespace {
+
+/// Nanoseconds -> microseconds string with nanosecond precision.
+std::string Micros(uint64_t nanos) {
+  return StrFormat("%llu.%03llu",
+                   static_cast<unsigned long long>(nanos / 1000),
+                   static_cast<unsigned long long>(nanos % 1000));
+}
+
+std::string ThreadName(const TraceDump& dump, uint32_t tid) {
+  if (tid < dump.thread_names.size() && !dump.thread_names[tid].empty()) {
+    return dump.thread_names[tid];
+  }
+  return StrFormat("thread-%u", tid);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceDump& dump) {
+  std::string out = "[\n";
+  bool first = true;
+  auto append = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  for (uint32_t tid = 0; tid < dump.thread_names.size(); ++tid) {
+    append(StrFormat(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%s\"}}",
+        tid, JsonEscape(ThreadName(dump, tid)).c_str()));
+  }
+  for (const SpanRecord& span : dump.spans) {
+    append(StrFormat(
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+        "\"cat\":\"isum\",\"ts\":%s,\"dur\":%s,\"args\":{\"depth\":%u}}",
+        span.tid, JsonEscape(span.name).c_str(),
+        Micros(span.start_nanos).c_str(), Micros(span.dur_nanos).c_str(),
+        span.depth));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string SpansJsonl(const TraceDump& dump) {
+  std::string out;
+  for (const SpanRecord& span : dump.spans) {
+    out += StrFormat(
+        "{\"type\":\"span\",\"name\":\"%s\",\"tid\":%u,\"thread\":\"%s\","
+        "\"depth\":%u,\"start_us\":%s,\"dur_us\":%s}\n",
+        JsonEscape(span.name).c_str(), span.tid,
+        JsonEscape(ThreadName(dump, span.tid)).c_str(), span.depth,
+        Micros(span.start_nanos).c_str(), Micros(span.dur_nanos).c_str());
+  }
+  return out;
+}
+
+std::string MetricsJsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.6g}\n",
+                     JsonEscape(name).c_str(), value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += StrFormat(
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,"
+        "\"sum\":%llu,\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}\n",
+        JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum), h.p50, h.p95, h.p99);
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace isum::obs

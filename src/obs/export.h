@@ -1,0 +1,41 @@
+#ifndef ISUM_OBS_EXPORT_H_
+#define ISUM_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace isum::obs {
+
+/// Serialization of traces and metric snapshots. Two formats:
+///
+///  - Chrome trace JSON (`trace.json`): loads directly in Perfetto
+///    (https://ui.perfetto.dev) or chrome://tracing. One complete event
+///    ("ph":"X") per span, preceded by thread_name metadata events. The
+///    file is a JSON array with one event per line, so line-oriented tools
+///    (tools/tracecat, grep) can process it without a full JSON parser.
+///
+///  - JSONL: one flat JSON object per line for spans
+///    ({"type":"span",...}) and metrics ({"type":"counter"|"gauge"|
+///    "histogram",...}), matching the common/jsonl.h helpers.
+///
+/// Timestamps/durations are microseconds with nanosecond precision
+/// (Chrome's native unit).
+
+/// Renders `dump` as Chrome trace JSON.
+std::string ChromeTraceJson(const TraceDump& dump);
+
+/// Renders `dump` as span JSONL.
+std::string SpansJsonl(const TraceDump& dump);
+
+/// Renders `snapshot` as metrics JSONL.
+std::string MetricsJsonl(const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path` (helper shared by the bench drivers).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace isum::obs
+
+#endif  // ISUM_OBS_EXPORT_H_

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace isum::obs {
+
+namespace {
+
+/// Quantile from (index, count) buckets via midpoint interpolation: walks
+/// the cumulative distribution to rank q*(n-1) and returns that bucket's
+/// midpoint. Shared by Histogram::Quantile and snapshot deltas.
+double QuantileFromBuckets(
+    const std::vector<std::pair<uint32_t, uint64_t>>& buckets, uint64_t count,
+    double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count - 1);
+  uint64_t cumulative = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    cumulative += bucket_count;
+    if (static_cast<double>(cumulative - 1) >= target ||
+        cumulative == count) {
+      return Histogram::BucketMidpoint(index);
+    }
+  }
+  return Histogram::BucketMidpoint(buckets.back().first);
+}
+
+void FillQuantiles(HistogramSample* sample) {
+  sample->p50 = QuantileFromBuckets(sample->buckets, sample->count, 0.50);
+  sample->p95 = QuantileFromBuckets(sample->buckets, sample->count, 0.95);
+  sample->p99 = QuantileFromBuckets(sample->buckets, sample->count, 0.99);
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // Dense per-thread slot, assigned once: threads cycle through the shards
+  // so a fixed-size pool spreads evenly.
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int exponent = std::bit_width(value) - 1;  // floor(log2(value))
+  const size_t sub =
+      (value >> (exponent - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(exponent) * kSubBuckets + sub;
+}
+
+double Histogram::BucketMidpoint(size_t index) {
+  if (index < kSubBuckets) return static_cast<double>(index);
+  const size_t exponent = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  // Bucket [lo, lo + width): lo = 2^e + sub * 2^(e - kSubBucketBits).
+  const double lo =
+      std::ldexp(1.0, static_cast<int>(exponent)) +
+      static_cast<double>(sub) *
+          std::ldexp(1.0, static_cast<int>(exponent - kSubBucketBits));
+  const double width = std::ldexp(1.0, static_cast<int>(exponent - kSubBucketBits));
+  return lo + width / 2.0;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  const auto buckets = NonZeroBuckets();
+  uint64_t count = 0;
+  for (const auto& [index, c] : buckets) count += c;
+  return QuantileFromBuckets(buckets, count, q);
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> Histogram::NonZeroBuckets() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(static_cast<uint32_t>(i), c);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+uint64_t MetricsSnapshot::HistogramCount(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return h.count;
+  }
+  return 0;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after.counters) {
+    const uint64_t prior = before.CounterValue(name);
+    out.counters.emplace_back(name, value >= prior ? value - prior : 0);
+  }
+  out.gauges = after.gauges;
+  for (const auto& h : after.histograms) {
+    const HistogramSample* prior = nullptr;
+    for (const auto& b : before.histograms) {
+      if (b.name == h.name) {
+        prior = &b;
+        break;
+      }
+    }
+    HistogramSample d;
+    d.name = h.name;
+    if (prior == nullptr) {
+      d = h;
+    } else {
+      d.sum = h.sum >= prior->sum ? h.sum - prior->sum : 0;
+      for (const auto& [index, count] : h.buckets) {
+        uint64_t prior_count = 0;
+        for (const auto& [pi, pc] : prior->buckets) {
+          if (pi == index) {
+            prior_count = pc;
+            break;
+          }
+        }
+        if (count > prior_count) d.buckets.emplace_back(index, count - prior_count);
+      }
+      for (const auto& [index, count] : d.buckets) d.count += count;
+      FillQuantiles(&d);
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.buckets = histogram->NonZeroBuckets();
+    for (const auto& [index, count] : sample.buckets) sample.count += count;
+    sample.sum = histogram->Sum();
+    FillQuantiles(&sample);
+    out.histograms.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace isum::obs

@@ -1,0 +1,197 @@
+#ifndef ISUM_OBS_METRICS_H_
+#define ISUM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isum::obs {
+
+/// Process-wide metrics for the compress -> tune -> evaluate pipeline.
+///
+/// Three instrument kinds, all thread-safe and lock-free on the hot path:
+///  - Counter:   monotonic, sharded across cache lines so concurrent
+///               writers (e.g. parallel what-if evaluation) don't contend;
+///  - Gauge:     last-written double (worker counts, pool sizes);
+///  - Histogram: log-scale latency histogram with p50/p95/p99.
+///
+/// Instruments are owned by a MetricsRegistry (usually the process-wide
+/// MetricsRegistry::Global()). Registration takes a mutex; callers on hot
+/// paths cache the returned pointer (instruments are never deallocated
+/// while the registry lives). Instruments can also be value members of any
+/// object (e.g. WhatIfOptimizer's per-instance call counters) — the classes
+/// have no dependency on the registry.
+///
+/// Determinism note: metric *values* are either event counts (deterministic
+/// for a fixed workload and thread count) or wall-time-derived (histogram
+/// latencies, gauges). Tests must only assert on the former; see
+/// docs/OBSERVABILITY.md.
+
+/// Monotonic counter. Add() is a relaxed fetch_add on a per-thread shard;
+/// Value() sums the shards (monotone but not a linearizable snapshot while
+/// writers are active).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    cells_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Atomically stores zero into every shard. Concurrent Add()s are not
+  /// lost-update-unsafe (each shard reset is a single atomic store), but a
+  /// reset that races with writers leaves the counter in a mixed state, so
+  /// callers must quiesce writers first (see WhatIfOptimizer::ResetCounters).
+  void Reset() {
+    for (Cell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  std::array<Cell, kShards> cells_;
+};
+
+/// Last-written double value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram for latency-like values (non-negative integers,
+/// typically nanoseconds). Buckets are power-of-two ranges subdivided into
+/// 8 sub-buckets, giving <= ~12.5% relative bucket width; quantiles are
+/// answered from the bucket midpoints, so they carry that relative error.
+/// Observe() is two relaxed fetch_adds.
+class Histogram {
+ public:
+  static constexpr size_t kSubBucketBits = 3;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const;
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Value at quantile q in [0, 1] (0.5 = median), from bucket midpoints.
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Non-empty (index, count) bucket pairs, by ascending index.
+  std::vector<std::pair<uint32_t, uint64_t>> NonZeroBuckets() const;
+
+  void Reset();
+
+  /// Maps a value to its bucket index (exposed for the exporter/tests).
+  static size_t BucketIndex(uint64_t value);
+  /// Representative (midpoint) value of a bucket.
+  static double BucketMidpoint(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One histogram in a snapshot: totals plus its non-empty buckets, so
+/// snapshots can be subtracted (MetricsSnapshot::Delta) and re-quantiled.
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+};
+
+/// Point-in-time copy of every instrument in a registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by name; 0 if absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Histogram sample count by name; 0 if absent.
+  uint64_t HistogramCount(const std::string& name) const;
+
+  /// Per-name difference `after - before`: counters and histogram
+  /// counts/sums/buckets subtract (clamped at 0); gauges keep the `after`
+  /// value; histogram quantiles are recomputed from the subtracted buckets.
+  /// Names missing from `before` are treated as zero.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+};
+
+/// Named-instrument owner. Get*() registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime; hot paths should
+/// call once and cache it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every library layer reports into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (test isolation; instruments stay
+  /// registered so cached pointers remain valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace isum::obs
+
+#endif  // ISUM_OBS_METRICS_H_

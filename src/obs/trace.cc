@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace isum::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowNanos() const {
+  const ClockFn fn = clock_.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::ThreadState* Tracer::CurrentThreadState() {
+  // One registration per thread; the pointer stays valid for the tracer's
+  // lifetime (the Tracer singleton is never destroyed).
+  static thread_local ThreadState* tls_state = nullptr;
+  if (tls_state == nullptr) {
+    auto state = std::make_unique<ThreadState>();
+    std::lock_guard<std::mutex> lock(mu_);
+    state->tid = static_cast<uint32_t>(threads_.size());
+    tls_state = state.get();
+    threads_.push_back(std::move(state));
+  }
+  return tls_state;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& thread : threads_) {
+    std::lock_guard<std::mutex> thread_lock(thread->mu);
+    thread->spans.clear();
+    thread->depth = 0;
+  }
+  session_start_nanos_.store(NowNanos(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+TraceDump Tracer::Drain() {
+  TraceDump dump;
+  std::lock_guard<std::mutex> lock(mu_);
+  dump.thread_names.resize(threads_.size());
+  for (auto& thread : threads_) {
+    dump.thread_names[thread->tid] = thread->name;
+    std::lock_guard<std::mutex> thread_lock(thread->mu);
+    dump.spans.insert(dump.spans.end(), thread->spans.begin(),
+                      thread->spans.end());
+    thread->spans.clear();
+  }
+  std::sort(dump.spans.begin(), dump.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return dump;
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  ThreadState* state = CurrentThreadState();
+  std::lock_guard<std::mutex> lock(mu_);
+  state->name = std::move(name);
+}
+
+void TraceSpan::Begin(Tracer& tracer, const char* name) {
+  name_ = name;
+  state_ = tracer.CurrentThreadState();
+  depth_ = state_->depth++;
+  start_raw_nanos_ = tracer.NowNanos();
+  const uint64_t session_start =
+      tracer.session_start_nanos_.load(std::memory_order_relaxed);
+  start_nanos_ =
+      start_raw_nanos_ >= session_start ? start_raw_nanos_ - session_start : 0;
+}
+
+void TraceSpan::End() {
+  Tracer& tracer = Tracer::Global();
+  const uint64_t end = tracer.NowNanos();
+  SpanRecord record;
+  record.name = name_;
+  record.tid = state_->tid;
+  record.depth = depth_;
+  record.start_nanos = start_nanos_;
+  record.dur_nanos = end >= start_raw_nanos_ ? end - start_raw_nanos_ : 0;
+  state_->depth--;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->spans.push_back(record);
+}
+
+}  // namespace isum::obs

@@ -1,0 +1,136 @@
+#ifndef ISUM_OBS_TRACE_H_
+#define ISUM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace isum::obs {
+
+/// Scoped-span tracer for the compress -> tune -> evaluate pipeline.
+///
+/// Usage: `ISUM_TRACE_SPAN("compress/greedy-pick");` opens a span that
+/// closes when the enclosing scope exits. Spans record a *static* name
+/// string, the recording thread, nesting depth, and start/duration in
+/// nanoseconds relative to the session start. The span taxonomy is
+/// documented in docs/OBSERVABILITY.md.
+///
+/// Cost model: tracing is off by default. A disabled span is a single
+/// relaxed atomic load (and compiles away entirely under
+/// -DISUM_OBS_DISABLE_TRACING, see the macro below). An enabled span
+/// appends to a per-thread buffer guarded by that thread's own
+/// (uncontended) mutex, so recording threads never serialize on each other.
+///
+/// Sessions: Enable() clears prior spans and starts a session; Disable()
+/// stops recording; Drain() merges and clears the per-thread buffers.
+/// Drain() must not race with in-flight spans — quiesce workers first
+/// (bench drivers drain after all work has joined).
+
+/// One closed span.
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string (never freed)
+  uint32_t tid = 0;            ///< tracer-assigned dense thread id
+  uint32_t depth = 0;          ///< nesting depth on the recording thread
+  uint64_t start_nanos = 0;    ///< relative to session start
+  uint64_t dur_nanos = 0;
+};
+
+/// Result of Tracer::Drain(): spans sorted by (start, tid) plus the
+/// thread-name table (indexed by SpanRecord::tid; "" = unnamed).
+struct TraceDump {
+  std::vector<SpanRecord> spans;
+  std::vector<std::string> thread_names;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer all ISUM_TRACE_SPAN sites record into.
+  static Tracer& Global();
+
+  /// Starts a recording session: clears buffered spans, re-zeroes the
+  /// session clock, enables recording.
+  void Enable();
+  /// Stops recording (buffered spans are kept for Drain()).
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Merges and clears every thread's buffer. Call after Disable() and
+  /// after worker threads have quiesced.
+  TraceDump Drain();
+
+  /// Names the calling thread in trace exports ("main", "pool-worker-3").
+  /// Sticky across sessions.
+  void SetCurrentThreadName(std::string name);
+
+  /// Test hook: replaces the span clock with a deterministic source
+  /// (nullptr restores the steady clock). Returns nanoseconds.
+  using ClockFn = uint64_t (*)();
+  void SetClockForTest(ClockFn fn) {
+    clock_.store(fn, std::memory_order_relaxed);
+  }
+
+  uint64_t NowNanos() const;
+
+ private:
+  friend class TraceSpan;
+  struct ThreadState {
+    uint32_t tid = 0;
+    uint32_t depth = 0;
+    std::string name;
+    std::mutex mu;  ///< guards `spans` (owner appends, Drain steals)
+    std::vector<SpanRecord> spans;
+  };
+
+  Tracer() = default;
+  ThreadState* CurrentThreadState();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<ClockFn> clock_{nullptr};
+  std::atomic<uint64_t> session_start_nanos_{0};
+  mutable std::mutex mu_;  ///< guards `threads_` and thread names
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+/// RAII span. Prefer the ISUM_TRACE_SPAN macro; `name` must be a static
+/// string (the record keeps the pointer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    Tracer& tracer = Tracer::Global();
+    if (!tracer.enabled()) return;
+    Begin(tracer, name);
+  }
+  ~TraceSpan() {
+    if (state_ != nullptr) End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(Tracer& tracer, const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  Tracer::ThreadState* state_ = nullptr;
+  uint32_t depth_ = 0;
+  uint64_t start_nanos_ = 0;      ///< session-relative
+  uint64_t start_raw_nanos_ = 0;  ///< clock-absolute (duration base)
+};
+
+}  // namespace isum::obs
+
+// Compile-time switch: building with -DISUM_OBS_TRACING=OFF (which defines
+// ISUM_OBS_DISABLE_TRACING) turns every span site into a no-op expression.
+#ifdef ISUM_OBS_DISABLE_TRACING
+#define ISUM_TRACE_SPAN(name) static_cast<void>(0)
+#else
+#define ISUM_OBS_CONCAT_INNER(a, b) a##b
+#define ISUM_OBS_CONCAT(a, b) ISUM_OBS_CONCAT_INNER(a, b)
+#define ISUM_TRACE_SPAN(name) \
+  ::isum::obs::TraceSpan ISUM_OBS_CONCAT(isum_trace_span_, __LINE__) { name }
+#endif
+
+#endif  // ISUM_OBS_TRACE_H_

@@ -62,6 +62,14 @@ TEST_F(EvalTest, RunPipelineFillsAllFields) {
   EXPECT_GT(r.improvement_percent, 0.0);
   EXPECT_GT(r.tuning.optimizer_calls, 0u);
   EXPECT_GE(r.tuning_seconds, 0.0);
+  // The registry delta captured by the pipeline must agree exactly with the
+  // what-if optimizer's own accessors for this single-threaded run.
+  EXPECT_EQ(r.metrics.CounterValue("whatif.optimizer_calls"),
+            r.tuning.optimizer_calls);
+  EXPECT_EQ(r.metrics.CounterValue("whatif.cache_hits"),
+            r.tuning.cache_hits);
+  EXPECT_EQ(r.metrics.HistogramCount("whatif.optimize_nanos"),
+            r.tuning.optimizer_calls);
 }
 
 TEST_F(EvalTest, DexterTunerWorksThroughPipeline) {

@@ -134,6 +134,36 @@ TEST(LintOverride, FlagsVirtualInDerivedClass) {
   EXPECT_EQ(vs[0].line, 5);
 }
 
+TEST(LintOverride, FlagsWrappedDeclarationMissingOverride) {
+  const auto vs = Lint("src/x.h",
+                       "#ifndef ISUM_X_H_\n"
+                       "#define ISUM_X_H_\n"
+                       "class D : public B {\n"
+                       " public:\n"
+                       "  virtual std::vector<int> Compute(\n"
+                       "      const std::string& name,\n"
+                       "      int budget);\n"
+                       "};\n"
+                       "#endif  // ISUM_X_H_\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-missing-override");
+  EXPECT_EQ(vs[0].line, 5);  // reported at the `virtual` line
+}
+
+TEST(LintOverride, AcceptsOverrideOnContinuationLine) {
+  const auto vs = Lint("src/x.h",
+                       "#ifndef ISUM_X_H_\n"
+                       "#define ISUM_X_H_\n"
+                       "class D : public B {\n"
+                       " public:\n"
+                       "  virtual std::vector<int> Compute(\n"
+                       "      const std::string& name,\n"
+                       "      int budget) override;\n"
+                       "};\n"
+                       "#endif  // ISUM_X_H_\n");
+  EXPECT_TRUE(vs.empty());
+}
+
 TEST(LintOverride, IgnoresBaseClassVirtuals) {
   const auto vs = Lint("src/x.h",
                        "#ifndef ISUM_X_H_\n"
@@ -161,6 +191,23 @@ TEST(LintStatus, CollectsStatusReturningNames) {
   EXPECT_NE(std::find(names.begin(), names.end(), "Parse"), names.end());
   EXPECT_EQ(std::find(names.begin(), names.end(), "NotCollected"),
             names.end());
+}
+
+TEST(LintStatus, CollectsWrappedDeclarations) {
+  StatusApi api;
+  CollectStatusApi(
+      "StatusOr<std::vector<int>>\n"
+      "Parse(const std::string& sql);\n"
+      "Status\n"
+      "Open(const std::string& path);\n"
+      "StatusOr<std::map<std::string,\n"
+      "                  int>>\n"
+      "CountRows(const Table& t);\n",
+      &api);
+  const auto& names = api.function_names;
+  EXPECT_NE(std::find(names.begin(), names.end(), "Parse"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Open"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "CountRows"), names.end());
 }
 
 TEST(LintStatus, FlagsVoidLaunderedStatusCalls) {

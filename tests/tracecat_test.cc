@@ -1,0 +1,134 @@
+// Tests for tools/tracecat: parsing the exporter's Chrome-trace and
+// metrics-JSONL output (round-trip through src/obs/export.h), phase
+// aggregation, top-k selection, and the rendered report.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tools/tracecat/tracecat.h"
+
+namespace isum::tracecat {
+namespace {
+
+obs::TraceDump SampleDump() {
+  obs::TraceDump dump;
+  dump.thread_names = {"main", "pool-worker-0"};
+  // name, tid, depth, start_nanos, dur_nanos
+  dump.spans.push_back(
+      obs::SpanRecord{"compress/total", 0, 0, 1000, 9000000});
+  dump.spans.push_back(
+      obs::SpanRecord{"compress/greedy-pick", 0, 1, 2000, 8000000});
+  dump.spans.push_back(
+      obs::SpanRecord{"whatif/optimize", 1, 0, 3000, 500000});
+  dump.spans.push_back(
+      obs::SpanRecord{"whatif/optimize", 1, 0, 600000, 700000});
+  return dump;
+}
+
+TEST(TracecatParse, RoundTripsExporterOutput) {
+  const std::string json = obs::ChromeTraceJson(SampleDump());
+  const auto events = ParseChromeTrace(json);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  // 2 thread_name metadata events + 4 spans.
+  ASSERT_EQ(events.value().size(), 6u);
+  EXPECT_EQ(events.value()[0].phase, "M");
+  EXPECT_EQ(events.value()[0].thread_name, "main");
+  EXPECT_EQ(events.value()[1].thread_name, "pool-worker-0");
+  const TraceEvent& span = events.value()[2];
+  EXPECT_EQ(span.phase, "X");
+  EXPECT_EQ(span.name, "compress/total");
+  EXPECT_EQ(span.tid, 0u);
+  EXPECT_DOUBLE_EQ(span.ts_us, 1.0);
+  EXPECT_DOUBLE_EQ(span.dur_us, 9000.0);
+}
+
+TEST(TracecatParse, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseChromeTrace("not json\n").ok());
+  EXPECT_FALSE(ParseChromeTrace("[\n{\"ph\":\"Q\",\"tid\":0}\n]\n").ok());
+}
+
+TEST(TracecatAggregate, SumsPerPhaseSortedByTotal) {
+  const std::string json = obs::ChromeTraceJson(SampleDump());
+  const auto events = ParseChromeTrace(json);
+  ASSERT_TRUE(events.ok());
+  const std::vector<PhaseStat> phases = AggregatePhases(events.value());
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].name, "compress/total");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_DOUBLE_EQ(phases[0].total_us, 9000.0);
+  EXPECT_EQ(phases[1].name, "compress/greedy-pick");
+  EXPECT_EQ(phases[2].name, "whatif/optimize");
+  EXPECT_EQ(phases[2].count, 2u);
+  EXPECT_DOUBLE_EQ(phases[2].total_us, 1200.0);
+  EXPECT_DOUBLE_EQ(phases[2].max_us, 700.0);
+}
+
+TEST(TracecatTopSlowest, OrdersByDurationAndTruncates) {
+  const std::string json = obs::ChromeTraceJson(SampleDump());
+  const auto events = ParseChromeTrace(json);
+  ASSERT_TRUE(events.ok());
+  const std::vector<TraceEvent> top = TopSlowest(events.value(), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "compress/total");
+  EXPECT_EQ(top[1].name, "compress/greedy-pick");
+}
+
+TEST(TracecatMetrics, ParsesExporterJsonl) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("whatif.optimizer_calls")->Add(30);
+  registry.GetCounter("whatif.cache_hits")->Add(70);
+  obs::Histogram* lat = registry.GetHistogram("whatif.optimize_nanos");
+  for (int i = 0; i < 30; ++i) lat->Observe(1000000);
+  const std::string jsonl = obs::MetricsJsonl(registry.Snapshot());
+  const auto parsed = ParseMetricsJsonl(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 3u);
+  bool saw_calls = false, saw_hist = false;
+  for (const MetricLine& m : parsed.value()) {
+    if (m.type == "counter" && m.name == "whatif.optimizer_calls") {
+      saw_calls = true;
+      EXPECT_DOUBLE_EQ(m.value, 30.0);
+    }
+    if (m.type == "histogram" && m.name == "whatif.optimize_nanos") {
+      saw_hist = true;
+      EXPECT_EQ(m.count, 30u);
+      EXPECT_GT(m.p50, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_calls);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(TracecatReport, RendersPhaseAndWhatIfTables) {
+  const std::string json = obs::ChromeTraceJson(SampleDump());
+  const auto events = ParseChromeTrace(json);
+  ASSERT_TRUE(events.ok());
+
+  obs::MetricsRegistry registry;
+  registry.GetCounter("whatif.optimizer_calls")->Add(25);
+  registry.GetCounter("whatif.cache_hits")->Add(75);
+  const auto metrics =
+      ParseMetricsJsonl(obs::MetricsJsonl(registry.Snapshot()));
+  ASSERT_TRUE(metrics.ok());
+
+  const std::string report = Report(events.value(), metrics.value(), 3);
+  EXPECT_NE(report.find("== per-phase totals =="), std::string::npos);
+  EXPECT_NE(report.find("compress/greedy-pick"), std::string::npos);
+  EXPECT_NE(report.find("== top 3 slowest spans =="), std::string::npos);
+  EXPECT_NE(report.find("== what-if optimizer =="), std::string::npos);
+  EXPECT_NE(report.find("optimizer calls: 25"), std::string::npos);
+  EXPECT_NE(report.find("hit rate:        75.0%"), std::string::npos);
+}
+
+TEST(TracecatReport, EmptyTraceStillRenders) {
+  const std::string report = Report({}, {}, 10);
+  EXPECT_NE(report.find("(no spans)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isum::tracecat

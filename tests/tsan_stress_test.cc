@@ -163,5 +163,51 @@ TEST_F(WhatIfStressTest, ConcurrentCostingIsRaceFreeAndConsistent) {
   EXPECT_GT(what_if.optimizer_calls(), 0u);
 }
 
+TEST_F(WhatIfStressTest, ResetCountersZeroesEveryCounter) {
+  const sql::BoundQuery q = Bind("SELECT a FROM t WHERE a < 100");
+  engine::WhatIfOptimizer what_if(&cost_model_);
+  what_if.Cost(q, engine::Configuration());
+  what_if.Cost(q, engine::Configuration());  // second call is a cache hit
+  EXPECT_EQ(what_if.optimizer_calls(), 1u);
+  EXPECT_EQ(what_if.cache_hits(), 1u);
+  EXPECT_GE(what_if.optimizer_seconds(), 0.0);
+
+  // ResetCounters requires quiesced callers (see what_if.h); here the test
+  // thread is the only caller, so the reset must be exact.
+  what_if.ResetCounters();
+  EXPECT_EQ(what_if.optimizer_calls(), 0u);
+  EXPECT_EQ(what_if.cache_hits(), 0u);
+  EXPECT_EQ(what_if.optimizer_seconds(), 0.0);
+
+  what_if.Cost(q, engine::Configuration());  // warm cache -> pure hit
+  EXPECT_EQ(what_if.optimizer_calls(), 0u);
+  EXPECT_EQ(what_if.cache_hits(), 1u);
+}
+
+TEST_F(WhatIfStressTest, CountersStayExactUnderConcurrency) {
+  // Every Cost() invocation increments exactly one of {optimizer_calls,
+  // cache_hits}, so their sum must equal the number of invocations even
+  // when threads race on the same cold cache entry.
+  std::vector<sql::BoundQuery> queries;
+  queries.push_back(Bind("SELECT a FROM t WHERE a < 100"));
+  queries.push_back(Bind("SELECT b FROM t WHERE b = 5"));
+  engine::WhatIfOptimizer what_if(&cost_model_);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& q : queries) {
+          what_if.Cost(q, engine::Configuration());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(what_if.optimizer_calls() + what_if.cache_hits(),
+            static_cast<uint64_t>(kThreads) * kRounds * queries.size());
+}
+
 }  // namespace
 }  // namespace isum

@@ -133,6 +133,38 @@ struct ClassContext {
   int open_depth = 0;  // brace depth at which the class body was entered
 };
 
+/// True if `code` (stripped) ends with `token` at a word boundary, ignoring
+/// trailing whitespace.
+bool EndsWithToken(const std::string& code, const std::string& token) {
+  size_t end = code.size();
+  while (end > 0 && (code[end - 1] == ' ' || code[end - 1] == '\t')) --end;
+  if (end < token.size()) return false;
+  if (code.compare(end - token.size(), token.size(), token) != 0) return false;
+  const size_t begin = end - token.size();
+  return begin == 0 || !IsIdentChar(code[begin - 1]);
+}
+
+/// True if a stripped line looks like the unfinished head of a wrapped
+/// Status/StatusOr declaration — the return type ends the line (possibly
+/// with open template arguments) and the function name follows on the next
+/// physical line.
+bool StatusDeclarationContinues(const std::string& code) {
+  if (EndsWithToken(code, "Status") || EndsWithToken(code, "StatusOr")) {
+    return true;
+  }
+  if (FindToken(code, "StatusOr") == std::string::npos) return false;
+  int angle = 0;
+  for (char c : code) {
+    if (c == '<') ++angle;
+    if (c == '>') --angle;
+  }
+  if (angle > 0) return true;  // template args span lines
+  // Balanced template args but the line ends at the '>': name is wrapped.
+  size_t end = code.size();
+  while (end > 0 && (code[end - 1] == ' ' || code[end - 1] == '\t')) --end;
+  return end > 0 && code[end - 1] == '>';
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -191,8 +223,31 @@ void CollectStatusApi(const std::string& content, StatusApi* api) {
   std::istringstream in(content);
   std::string raw;
   bool in_block = false;
+  // Physical lines are joined into logical declarations so wrapped returns
+  // ("StatusOr<std::vector<int>>\n  Parse(...)") are still collected.
+  std::vector<std::string> logical;
+  std::string pending;
+  int joins = 0;
+  auto flush = [&] {
+    if (!pending.empty()) logical.push_back(std::move(pending));
+    pending.clear();
+    joins = 0;
+  };
   while (std::getline(in, raw)) {
-    const std::string code = StripCommentsAndLiterals(raw, &in_block);
+    const std::string stripped = StripCommentsAndLiterals(raw, &in_block);
+    if (pending.empty()) {
+      pending = stripped;
+    } else {
+      pending += " " + stripped;
+    }
+    if (StatusDeclarationContinues(pending) && joins < 3) {
+      ++joins;
+      continue;
+    }
+    flush();
+  }
+  flush();
+  for (const std::string& code : logical) {
     // Match "Status Name(" or "StatusOr<...> Name(" declarations.
     for (const char* ret : {"Status", "StatusOr"}) {
       size_t pos = FindToken(code, ret);
@@ -250,6 +305,14 @@ void LintFile(const std::string& path, const std::string& content,
   bool have_nolint_next = false;
   std::string first_ifndef, first_define;
   int ifndef_line = 0;
+  // Wrapped virtual declarations accumulate until their terminator so
+  // `override` on a continuation line is seen (and its absence across the
+  // whole declaration is reported once, at the `virtual` line).
+  bool virtual_pending = false;
+  std::string virtual_decl;
+  int virtual_line = 0;
+  size_t virtual_col = 0;
+  bool virtual_suppressed = false;
 
   while (std::getline(in, raw)) {
     ++line_no;
@@ -364,19 +427,36 @@ void LintFile(const std::string& path, const std::string& content,
       }
     }
 
-    // --- isum-missing-override (heuristic, line-based) ---
-    if (active(kMissingOverride)) {
+    // --- isum-missing-override (heuristic; wrapped declarations are
+    //     accumulated until ';' or '{' before the verdict) ---
+    if (virtual_pending) {
+      virtual_decl += " " + code;
+    } else {
       const bool in_derived = !class_stack.empty() &&
                               class_stack.back().has_base &&
                               brace_depth == class_stack.back().open_depth + 1;
-      if (in_derived && FindToken(code, "virtual") != std::string::npos &&
-          code.find('(') != std::string::npos &&
-          code.find('~') == std::string::npos &&
-          FindToken(code, "override") == std::string::npos &&
-          FindToken(code, "final") == std::string::npos) {
-        add(line_no, FindToken(code, "virtual"), kMissingOverride,
+      const size_t v = FindToken(code, "virtual");
+      if (in_derived && v != std::string::npos) {
+        virtual_pending = true;
+        virtual_decl = code;
+        virtual_line = line_no;
+        virtual_col = v;
+        // Suppression is decided where the declaration starts: NOLINT on
+        // the `virtual` line or NOLINTNEXTLINE above it.
+        virtual_suppressed = !active(kMissingOverride);
+      }
+    }
+    if (virtual_pending && (virtual_decl.find(';') != std::string::npos ||
+                            virtual_decl.find('{') != std::string::npos)) {
+      if (!virtual_suppressed &&
+          virtual_decl.find('(') != std::string::npos &&
+          virtual_decl.find('~') == std::string::npos &&
+          FindToken(virtual_decl, "override") == std::string::npos &&
+          FindToken(virtual_decl, "final") == std::string::npos) {
+        add(virtual_line, virtual_col, kMissingOverride,
             "virtual member of a derived class should be marked override");
       }
+      virtual_pending = false;
     }
 
     // --- class/brace bookkeeping (after rules so the opening line itself

@@ -1,0 +1,86 @@
+// tracecat — pretty-prints a bench driver's trace.json (and optional
+// metrics snapshot): per-phase totals, top-k slowest spans, what-if
+// hit-rate table. Usage:
+//
+//   tracecat <trace.json> [--metrics=<metrics.jsonl>] [--top=N]
+//
+// Exits non-zero on unreadable or malformed input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/tracecat/tracecat.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  size_t top_k = 10;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      metrics_path = arg + 10;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top_k = static_cast<size_t>(std::strtoul(arg + 6, nullptr, 10));
+    } else if (trace_path.empty() && arg[0] != '-') {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracecat <trace.json> [--metrics=<path>] [--top=N]\n");
+    return 2;
+  }
+
+  std::string trace_content;
+  if (!ReadFile(trace_path, &trace_content)) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  const auto events = isum::tracecat::ParseChromeTrace(trace_content);
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                 events.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<isum::tracecat::MetricLine> metrics;
+  if (!metrics_path.empty()) {
+    std::string metrics_content;
+    if (!ReadFile(metrics_path, &metrics_content)) {
+      std::fprintf(stderr, "cannot read %s\n", metrics_path.c_str());
+      return 1;
+    }
+    auto parsed = isum::tracecat::ParseMetricsJsonl(metrics_content);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", metrics_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    metrics = std::move(parsed).value();
+  }
+
+  const std::string report =
+      isum::tracecat::Report(events.value(), metrics, top_k);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "tools/tracecat/tracecat.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/jsonl.h"
+#include "common/string_util.h"
+
+namespace isum::tracecat {
+
+namespace {
+
+/// Strips whitespace and a trailing comma from one raw trace line.
+std::string CleanLine(const std::string& raw) {
+  std::string line(Trim(raw));
+  if (!line.empty() && line.back() == ',') line.pop_back();
+  return line;
+}
+
+/// args.name of a thread_name metadata event. The top-level "name" key is
+/// "thread_name" itself, so the flat extractor cannot reach it; the args
+/// object is the only nested value the exporter writes.
+StatusOr<std::string> MetadataThreadName(const std::string& line) {
+  const std::string needle = "\"args\":{\"name\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return Status::ParseError("metadata event without args.name: " + line);
+  }
+  return JsonExtractString(line.substr(pos + 8), "name");
+}
+
+}  // namespace
+
+StatusOr<std::vector<TraceEvent>> ParseChromeTrace(
+    const std::string& content) {
+  std::vector<TraceEvent> events;
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = CleanLine(raw);
+    if (line.empty() || line == "[" || line == "]") continue;
+    if (line.front() != '{') {
+      return Status::ParseError("unexpected trace line: " + line);
+    }
+    TraceEvent event;
+    auto phase = JsonExtractString(line, "ph");
+    if (!phase.ok()) return phase.status();
+    event.phase = phase.value();
+    auto tid = JsonExtractNumber(line, "tid");
+    if (!tid.ok()) return tid.status();
+    event.tid = static_cast<uint32_t>(tid.value());
+    if (event.phase == "M") {
+      auto name = MetadataThreadName(line);
+      if (!name.ok()) return name.status();
+      event.thread_name = name.value();
+      event.name = "thread_name";
+    } else if (event.phase == "X") {
+      auto name = JsonExtractString(line, "name");
+      if (!name.ok()) return name.status();
+      event.name = name.value();
+      auto ts = JsonExtractNumber(line, "ts");
+      if (!ts.ok()) return ts.status();
+      event.ts_us = ts.value();
+      auto dur = JsonExtractNumber(line, "dur");
+      if (!dur.ok()) return dur.status();
+      event.dur_us = dur.value();
+    } else {
+      return Status::ParseError("unsupported event phase: " + event.phase);
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<PhaseStat> AggregatePhases(const std::vector<TraceEvent>& events) {
+  std::vector<PhaseStat> stats;
+  for (const TraceEvent& e : events) {
+    if (e.phase != "X") continue;
+    PhaseStat* stat = nullptr;
+    for (PhaseStat& s : stats) {
+      if (s.name == e.name) {
+        stat = &s;
+        break;
+      }
+    }
+    if (stat == nullptr) {
+      stats.push_back(PhaseStat{e.name, 0, 0.0, 0.0});
+      stat = &stats.back();
+    }
+    ++stat->count;
+    stat->total_us += e.dur_us;
+    stat->max_us = std::max(stat->max_us, e.dur_us);
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+std::vector<TraceEvent> TopSlowest(const std::vector<TraceEvent>& events,
+                                   size_t k) {
+  std::vector<TraceEvent> spans;
+  for (const TraceEvent& e : events) {
+    if (e.phase == "X") spans.push_back(e);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.name < b.name;
+            });
+  if (spans.size() > k) spans.resize(k);
+  return spans;
+}
+
+StatusOr<std::vector<MetricLine>> ParseMetricsJsonl(
+    const std::string& content) {
+  std::vector<MetricLine> metrics;
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    MetricLine m;
+    auto type = JsonExtractString(line, "type");
+    if (!type.ok()) return type.status();
+    m.type = type.value();
+    auto name = JsonExtractString(line, "name");
+    if (!name.ok()) return name.status();
+    m.name = name.value();
+    if (m.type == "histogram") {
+      auto count = JsonExtractNumber(line, "count");
+      if (!count.ok()) return count.status();
+      m.count = static_cast<uint64_t>(count.value());
+      auto sum = JsonExtractNumber(line, "sum");
+      if (!sum.ok()) return sum.status();
+      m.sum = static_cast<uint64_t>(sum.value());
+      auto p50 = JsonExtractNumber(line, "p50");
+      if (!p50.ok()) return p50.status();
+      m.p50 = p50.value();
+      auto p95 = JsonExtractNumber(line, "p95");
+      if (!p95.ok()) return p95.status();
+      m.p95 = p95.value();
+      auto p99 = JsonExtractNumber(line, "p99");
+      if (!p99.ok()) return p99.status();
+      m.p99 = p99.value();
+    } else {
+      auto value = JsonExtractNumber(line, "value");
+      if (!value.ok()) return value.status();
+      m.value = value.value();
+    }
+    metrics.push_back(std::move(m));
+  }
+  return metrics;
+}
+
+namespace {
+
+const MetricLine* FindMetric(const std::vector<MetricLine>& metrics,
+                             const std::string& type,
+                             const std::string& name) {
+  for (const MetricLine& m : metrics) {
+    if (m.type == type && m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string HumanUs(double us) {
+  if (us >= 1e6) return StrFormat("%.2fs", us / 1e6);
+  if (us >= 1e3) return StrFormat("%.2fms", us / 1e3);
+  return StrFormat("%.1fus", us);
+}
+
+}  // namespace
+
+std::string Report(const std::vector<TraceEvent>& events,
+                   const std::vector<MetricLine>& metrics, size_t top_k) {
+  std::string out;
+
+  const std::vector<PhaseStat> phases = AggregatePhases(events);
+  out += "== per-phase totals ==\n";
+  if (phases.empty()) {
+    out += "(no spans)\n";
+  } else {
+    out += StrFormat("%-32s %8s %12s %12s %12s\n", "phase", "count", "total",
+                     "mean", "max");
+    for (const PhaseStat& p : phases) {
+      out += StrFormat(
+          "%-32s %8llu %12s %12s %12s\n", p.name.c_str(),
+          static_cast<unsigned long long>(p.count), HumanUs(p.total_us).c_str(),
+          HumanUs(p.total_us / static_cast<double>(p.count)).c_str(),
+          HumanUs(p.max_us).c_str());
+    }
+  }
+
+  const std::vector<TraceEvent> slowest = TopSlowest(events, top_k);
+  if (!slowest.empty()) {
+    out += StrFormat("\n== top %zu slowest spans ==\n", slowest.size());
+    out += StrFormat("%-32s %6s %14s %12s\n", "span", "tid", "start", "dur");
+    for (const TraceEvent& e : slowest) {
+      out += StrFormat("%-32s %6u %14s %12s\n", e.name.c_str(), e.tid,
+                       HumanUs(e.ts_us).c_str(), HumanUs(e.dur_us).c_str());
+    }
+  }
+
+  const MetricLine* calls =
+      FindMetric(metrics, "counter", "whatif.optimizer_calls");
+  const MetricLine* hits = FindMetric(metrics, "counter", "whatif.cache_hits");
+  const MetricLine* lat =
+      FindMetric(metrics, "histogram", "whatif.optimize_nanos");
+  if (calls != nullptr || hits != nullptr) {
+    const double n_calls = calls != nullptr ? calls->value : 0.0;
+    const double n_hits = hits != nullptr ? hits->value : 0.0;
+    const double total = n_calls + n_hits;
+    out += "\n== what-if optimizer ==\n";
+    out += StrFormat("optimizer calls: %.0f\n", n_calls);
+    out += StrFormat("cache hits:      %.0f\n", n_hits);
+    out += StrFormat("hit rate:        %.1f%%\n",
+                     total > 0.0 ? 100.0 * n_hits / total : 0.0);
+    if (lat != nullptr && lat->count > 0) {
+      out += StrFormat("optimize latency: p50 %s  p95 %s  p99 %s\n",
+                       HumanUs(lat->p50 / 1e3).c_str(),
+                       HumanUs(lat->p95 / 1e3).c_str(),
+                       HumanUs(lat->p99 / 1e3).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace isum::tracecat

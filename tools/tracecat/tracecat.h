@@ -1,0 +1,68 @@
+#ifndef ISUM_TOOLS_TRACECAT_TRACECAT_H_
+#define ISUM_TOOLS_TRACECAT_TRACECAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace isum::tracecat {
+
+/// tracecat: pretty-printer for the traces and metric snapshots the bench
+/// drivers emit (--trace= / --metrics=, src/obs/export.h). The parser
+/// handles exactly the line-per-event shape those exporters write — it is a
+/// diagnosis tool for this repo's files, not a general JSON reader.
+
+/// One parsed Chrome-trace event (complete spans and thread_name metadata).
+struct TraceEvent {
+  std::string phase;        ///< "X" (span) or "M" (metadata)
+  std::string name;         ///< span name, e.g. "whatif/optimize"
+  std::string thread_name;  ///< metadata events: args.name
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Parses a Chrome trace written by obs::ChromeTraceJson.
+StatusOr<std::vector<TraceEvent>> ParseChromeTrace(const std::string& content);
+
+/// Aggregate over all spans sharing a name.
+struct PhaseStat {
+  std::string name;
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Per-phase totals over the span events, sorted by descending total time
+/// (ties by name, so output is deterministic).
+std::vector<PhaseStat> AggregatePhases(const std::vector<TraceEvent>& events);
+
+/// The `k` slowest spans, by descending duration (ties by start, name).
+std::vector<TraceEvent> TopSlowest(const std::vector<TraceEvent>& events,
+                                   size_t k);
+
+/// One line of a metrics JSONL snapshot (obs::MetricsJsonl).
+struct MetricLine {
+  std::string type;  ///< "counter", "gauge", or "histogram"
+  std::string name;
+  double value = 0.0;  ///< counters/gauges
+  uint64_t count = 0;  ///< histograms
+  uint64_t sum = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+StatusOr<std::vector<MetricLine>> ParseMetricsJsonl(
+    const std::string& content);
+
+/// Renders the report: per-phase table, top-k slowest spans, and (when
+/// metrics are present) the what-if call/hit-rate table.
+std::string Report(const std::vector<TraceEvent>& events,
+                   const std::vector<MetricLine>& metrics, size_t top_k);
+
+}  // namespace isum::tracecat
+
+#endif  // ISUM_TOOLS_TRACECAT_TRACECAT_H_
