@@ -11,9 +11,13 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "baselines/gsum.h"
 #include "baselines/kmedoid.h"
 #include "baselines/simple.h"
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "eval/pipeline.h"
 #include "eval/reporting.h"
@@ -35,7 +39,15 @@ namespace isum::bench {
 /// google-benchmark's — never see them):
 ///   --trace=<path>     record spans for the whole run; written as Chrome
 ///                      trace JSON (open in Perfetto / chrome://tracing)
+///   --trace-every=<N>  sample: record every Nth top-level span tree per
+///                      thread (with --trace; 1 = all, the default)
 ///   --metrics=<path>   write a registry snapshot as JSONL at exit
+///   --faults=<spec>    arm deterministic fault injection for the run
+///                      (spec grammar in common/fault.h; overrides the
+///                      ISUM_FAULTS environment variable)
+///   --time-budget=<s>  install an ambient whole-run time budget of `s`
+///                      seconds (common/deadline.h); stages stop cleanly
+///                      with best-so-far results once it expires
 ///
 /// Files are written from the destructor, after the driver's work joined.
 class ObsScope {
@@ -43,17 +55,46 @@ class ObsScope {
   ObsScope(int& argc, char** argv) {
     obs::Tracer::Global().SetCurrentThreadName("main");
     int kept = 1;
+    std::string faults_spec;
+    double time_budget_seconds = 0.0;
+    uint64_t trace_every = 1;
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--trace=", 8) == 0) {
         trace_path_ = arg + 8;
+      } else if (std::strncmp(arg, "--trace-every=", 14) == 0) {
+        trace_every = std::strtoull(arg + 14, nullptr, 10);
       } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
         metrics_path_ = arg + 10;
+      } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+        faults_spec = arg + 9;
+      } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
+        time_budget_seconds = std::strtod(arg + 14, nullptr);
       } else {
         argv[kept++] = argv[i];
       }
     }
     argc = kept;
+    if (!faults_spec.empty()) {
+      const Status status = FaultInjector::Global().Configure(faults_spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bad --faults spec: %s\n",
+                     status.ToString().c_str());
+        std::exit(2);
+      }
+    } else {
+      // ISUM_FAULTS=<spec> arms injection for drivers run under a harness.
+      const Status status = FaultInjector::Global().ConfigureFromEnvironment();
+      if (!status.ok()) {
+        std::fprintf(stderr, "bad ISUM_FAULTS spec: %s\n",
+                     status.ToString().c_str());
+        std::exit(2);
+      }
+    }
+    if (time_budget_seconds > 0.0) {
+      InstallAmbientBudget(TimeBudget::After(time_budget_seconds));
+    }
+    obs::Tracer::Global().SetSampleEvery(trace_every);
     if (!trace_path_.empty()) obs::Tracer::Global().Enable();
   }
 

@@ -1,17 +1,43 @@
 #include "advisor/advisor.h"
 
 #include <algorithm>
-#include <chrono>
 #include <atomic>
-#include <optional>
 #include <unordered_set>
 
 #include "advisor/enumerator.h"
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace isum::advisor {
+
+namespace {
+
+/// The run's effective budget: the explicit TimeBudget (or the ambient one),
+/// tightened by the legacy time_budget_seconds knob when that expires first.
+TimeBudget EffectiveTuningBudget(const TuningOptions& options) {
+  TimeBudget budget = EffectiveBudget(options.budget);
+  if (options.time_budget_seconds > 0.0) {
+    const Deadline legacy = Deadline::After(options.time_budget_seconds);
+    if (budget.deadline().unlimited() ||
+        legacy.nanos() < budget.deadline().nanos()) {
+      budget = TimeBudget(legacy, budget.token());
+    }
+  }
+  return budget;
+}
+
+/// Budget for candidate selection: half the remaining time (DTA's split, so
+/// enumeration always sees some candidates), same cancellation token.
+TimeBudget SelectionBudget(const TimeBudget& full) {
+  if (full.deadline().unlimited()) return full;
+  const uint64_t remaining = full.deadline().remaining_nanos();
+  return TimeBudget(Deadline::AtNanos(MonotonicNanos() + remaining / 2),
+                    full.token());
+}
+
+}  // namespace
 
 TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
                                    const TuningOptions& options) const {
@@ -19,38 +45,33 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   static obs::Counter* const tuning_runs =
       obs::MetricsRegistry::Global().GetCounter("advisor.tuning_runs");
   tuning_runs->Add(1);
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_nanos = MonotonicNanos();
   TuningResult result;
   if (queries.empty()) return result;
 
   engine::WhatIfOptimizer what_if(cost_model_);
   const catalog::Catalog& catalog = cost_model_->catalog();
 
-  // Anytime deadline (DTA's time-budget mode). Candidate selection gets at
-  // most half the budget so enumeration always sees some candidates.
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  std::optional<std::chrono::steady_clock::time_point> selection_deadline;
-  if (options.time_budget_seconds > 0.0) {
-    deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(options.time_budget_seconds));
-    selection_deadline =
-        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(options.time_budget_seconds / 2.0));
-  }
+  const TimeBudget budget = EffectiveTuningBudget(options);
+  const TimeBudget selection_budget = SelectionBudget(budget);
 
   // --- Candidate selection: per query, keep the individually improving
   // candidates (top max_candidates_per_query by improvement). Queries are
   // independent, so this parallelizes; the pool merge below stays in query
-  // order so results are identical for any thread count. ---
+  // order so results are identical for any thread count. A query whose base
+  // costing fails (budget expiry or a persistent injected fault) contributes
+  // no candidates; a single candidate whose costing fails is skipped. ---
   std::vector<std::vector<engine::Index>> kept_per_query(queries.size());
   std::atomic<uint64_t> explored{0};
   auto select_for = [&](size_t q) {
-    if (selection_deadline.has_value() &&
-        std::chrono::steady_clock::now() >= *selection_deadline) {
+    if (selection_budget.Expired()) {
       return;  // anytime: later queries contribute no candidates
     }
     const WeightedQuery& wq = queries[q];
-    const double base = what_if.Cost(*wq.query, engine::Configuration());
+    const StatusOr<double> base_or =
+        what_if.TryCost(*wq.query, engine::Configuration(), selection_budget);
+    if (!base_or.ok()) return;
+    const double base = *base_or;
     std::vector<engine::Index> candidates =
         GenerateCandidates(*wq.query, cost_model_->stats(),
                            options.candidate_options);
@@ -59,8 +80,13 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
       engine::Configuration single;
       single.Add(candidates[i]);
       explored.fetch_add(1, std::memory_order_relaxed);
-      const double cost = what_if.Cost(*wq.query, single);
-      const double improvement = base - cost;
+      const StatusOr<double> cost =
+          what_if.TryCost(*wq.query, single, selection_budget);
+      if (!cost.ok()) {
+        if (cost.status().code() == StatusCode::kUnavailable) continue;
+        break;  // budget expired: keep what this query has so far
+      }
+      const double improvement = base - *cost;
       if (improvement > options.min_improvement * base &&
           improvement > 0.0) {
         improving.emplace_back(improvement, i);
@@ -78,7 +104,7 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
     ISUM_TRACE_SPAN("advisor/candidate-gen");
     if (options.num_threads > 1) {
       ThreadPool(static_cast<size_t>(options.num_threads))
-          .ParallelFor(queries.size(), select_for);
+          .ParallelFor(queries.size(), select_for, budget.token());
     } else {
       for (size_t q = 0; q < queries.size(); ++q) select_for(q);
     }
@@ -94,27 +120,29 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   }
 
   // --- Storage budget. ---
-  uint64_t budget = options.storage_budget_bytes;
-  if (budget == 0 && options.storage_budget_multiplier > 0.0) {
-    budget = static_cast<uint64_t>(options.storage_budget_multiplier *
-                                   static_cast<double>(catalog.total_data_bytes()));
+  uint64_t storage_budget = options.storage_budget_bytes;
+  if (storage_budget == 0 && options.storage_budget_multiplier > 0.0) {
+    storage_budget =
+        static_cast<uint64_t>(options.storage_budget_multiplier *
+                              static_cast<double>(catalog.total_data_bytes()));
   }
 
   // --- Greedy enumeration. ---
   EnumerationResult enumerated =
-      GreedyEnumerate(what_if, queries, pool, options.max_indexes, budget,
-                      catalog, deadline, options.num_threads);
+      GreedyEnumerate(what_if, queries, pool, options.max_indexes,
+                      storage_budget, catalog, budget, options.num_threads);
 
   result.configuration = std::move(enumerated.configuration);
   result.configurations_explored += enumerated.configurations_explored;
   result.initial_cost = enumerated.initial_cost;
   result.final_cost = enumerated.final_cost;
+  result.stop_reason = enumerated.stop_reason;
   result.optimizer_calls = what_if.optimizer_calls();
   result.cache_hits = what_if.cache_hits();
   result.optimizer_seconds = what_if.optimizer_seconds();
+  result.retry_attempts = what_if.retry_attempts();
   result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(MonotonicNanos() - start_nanos) * 1e-9;
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "advisor/candidate_generation.h"
+#include "common/deadline.h"
 #include "engine/what_if.h"
 
 namespace isum::advisor {
@@ -33,6 +34,11 @@ struct TuningOptions {
   /// selection and enumeration once this many seconds have elapsed and
   /// return the best configuration found so far. 0 = no budget.
   double time_budget_seconds = 0.0;
+  /// Deadline/cancellation for the whole run. Combined with
+  /// time_budget_seconds (whichever expires first wins); when unlimited the
+  /// ambient process budget applies (common/deadline.h). Candidate selection
+  /// gets at most half the remaining time so enumeration always runs.
+  TimeBudget budget;
   /// Worker threads for candidate evaluation during enumeration (what-if
   /// calls are independent). Results are identical for any thread count —
   /// except when combined with time_budget_seconds, where the anytime
@@ -55,6 +61,11 @@ struct TuningResult {
   double initial_cost = 0.0;
   double final_cost = 0.0;
   double elapsed_seconds = 0.0;
+  /// What-if retries performed under fault injection (retry.attempts).
+  uint64_t retry_attempts = 0;
+  /// kComplete, or why tuning stopped early — the configuration is then the
+  /// best found before the cutoff and always valid (docs/ROBUSTNESS.md).
+  StopReason stop_reason = StopReason::kComplete;
 };
 
 /// A DTA-style index advisor (Figure 1 of the paper): syntactic candidate

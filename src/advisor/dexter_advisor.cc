@@ -1,9 +1,9 @@
 #include "advisor/dexter_advisor.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 
+#include "common/deadline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,18 +15,36 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   static obs::Counter* const tuning_runs =
       obs::MetricsRegistry::Global().GetCounter("advisor.tuning_runs");
   tuning_runs->Add(1);
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_nanos = MonotonicNanos();
   TuningResult result;
   engine::WhatIfOptimizer what_if(cost_model_);
   const stats::StatsManager& stats = cost_model_->stats();
+  const TimeBudget budget = EffectiveBudget(options.budget);
 
   // Accumulated benefit per chosen index across queries (for truncation).
   std::unordered_map<engine::Index, double> chosen;
 
   double initial = 0.0;
   double final_cost = 0.0;
+  bool stopped = false;
   for (const WeightedQuery& wq : queries) {
-    const double base = what_if.Cost(*wq.query, engine::Configuration());
+    // Query boundaries are the cooperative stop points: the queries tuned so
+    // far still merge into a valid recommendation.
+    const Status query_check = budget.CheckCancelled();
+    if (!query_check.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(query_check);
+      break;
+    }
+    const StatusOr<double> base_or =
+        what_if.TryCost(*wq.query, engine::Configuration(), budget);
+    if (!base_or.ok()) {
+      if (base_or.status().code() == StatusCode::kUnavailable) {
+        continue;  // persistent fault on this query: tune the others
+      }
+      result.stop_reason = TimeBudget::ReasonFor(base_or.status());
+      break;
+    }
+    const double base = *base_or;
     initial += wq.weight * base;
 
     // DEXTER-like candidates: single-column and two-column (filter, join)
@@ -41,7 +59,7 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
     // while it clears the minimum improvement bar.
     engine::Configuration local;
     double current = base;
-    for (;;) {
+    while (!stopped) {
       double best_improvement = 0.0;
       const engine::Index* best = nullptr;
       for (const engine::Index& c : candidates) {
@@ -49,8 +67,16 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
         engine::Configuration trial = local;
         trial.Add(c);
         ++result.configurations_explored;
-        const double cost = what_if.Cost(*wq.query, trial);
-        const double improvement = current - cost;
+        const StatusOr<double> cost = what_if.TryCost(*wq.query, trial, budget);
+        if (!cost.ok()) {
+          if (cost.status().code() == StatusCode::kUnavailable) {
+            continue;  // candidate uncostable: treat as non-improving
+          }
+          result.stop_reason = TimeBudget::ReasonFor(cost.status());
+          stopped = true;
+          break;
+        }
+        const double improvement = current - *cost;
         if (improvement > best_improvement) {
           best_improvement = improvement;
           best = &c;
@@ -64,6 +90,7 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
       chosen[*best] += wq.weight * best_improvement;
     }
     final_cost += wq.weight * current;
+    if (stopped) break;
   }
 
   // Union of local picks; truncate to the most beneficial if capped.
@@ -84,9 +111,9 @@ TuningResult DexterStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   result.optimizer_calls = what_if.optimizer_calls();
   result.cache_hits = what_if.cache_hits();
   result.optimizer_seconds = what_if.optimizer_seconds();
+  result.retry_attempts = what_if.retry_attempts();
   result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(MonotonicNanos() - start_nanos) * 1e-9;
   return result;
 }
 

@@ -15,6 +15,10 @@ struct DexterOptions {
   /// index count/storage during search; we truncate after the fact only so
   /// experiments can sweep a size axis). 0 = unlimited.
   int max_indexes = 0;
+  /// Deadline/cancellation, observed between queries and inside what-if
+  /// calls; on expiry the queries tuned so far are merged and returned with
+  /// TuningResult::stop_reason set. Falls back to the ambient budget.
+  TimeBudget budget;
 };
 
 /// A deliberately simpler, DEXTER-like index advisor (paper §8.3): per-query

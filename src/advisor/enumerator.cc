@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,17 +13,19 @@ namespace isum::advisor {
 
 namespace {
 
-/// Evaluation of one candidate against the current per-query costs.
+/// Evaluation of one candidate against the current per-query costs. When
+/// `status` is non-OK the evaluation is incomplete and must not be applied.
 struct CandidateEvaluation {
   double improvement = 0.0;
   std::vector<double> new_costs;
+  Status status;
 };
 
 CandidateEvaluation EvaluateCandidate(
     engine::WhatIfOptimizer& what_if,
     const std::vector<WeightedQuery>& queries,
     const engine::Configuration& base_config, const engine::Index& candidate,
-    const std::vector<double>& current_cost) {
+    const std::vector<double>& current_cost, const TimeBudget& budget) {
   engine::Configuration trial = base_config;
   trial.Add(candidate);
   CandidateEvaluation out;
@@ -32,9 +35,13 @@ CandidateEvaluation EvaluateCandidate(
       out.new_costs.push_back(current_cost[qi]);
       continue;
     }
-    const double c = what_if.Cost(*queries[qi].query, trial);
-    out.new_costs.push_back(c);
-    out.improvement += queries[qi].weight * (current_cost[qi] - c);
+    const StatusOr<double> c = what_if.TryCost(*queries[qi].query, trial, budget);
+    if (!c.ok()) {
+      out.status = c.status();
+      return out;
+    }
+    out.new_costs.push_back(*c);
+    out.improvement += queries[qi].weight * (current_cost[qi] - *c);
   }
   return out;
 }
@@ -46,8 +53,7 @@ EnumerationResult GreedyEnumerate(
     const std::vector<WeightedQuery>& queries,
     const std::vector<engine::Index>& pool, int max_indexes,
     uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
-    std::optional<std::chrono::steady_clock::time_point> deadline,
-    int num_threads) {
+    const TimeBudget& budget, int num_threads) {
   ISUM_TRACE_SPAN("advisor/enumerate");
   static obs::Counter* const rounds_counter =
       obs::MetricsRegistry::Global().GetCounter("advisor.enumeration_rounds");
@@ -56,11 +62,23 @@ EnumerationResult GreedyEnumerate(
           "advisor.configurations_explored");
   EnumerationResult result;
 
-  // Per-query current cost under the growing configuration.
+  // Per-query current cost under the growing (initially empty) configuration.
+  // Initial costing is exempt from the deadline (bounded work, and without
+  // it a truncated result would report meaningless zero costs); it still
+  // honors cancellation and fault handling.
+  const TimeBudget initial_budget(Deadline(), budget.token());
   std::vector<double> current_cost(queries.size());
   double total_cost = 0.0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    current_cost[i] = what_if.Cost(*queries[i].query, result.configuration);
+    const StatusOr<double> c =
+        what_if.TryCost(*queries[i].query, result.configuration, initial_budget);
+    if (!c.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(c.status());
+      result.initial_cost = total_cost;
+      result.final_cost = total_cost;
+      return result;
+    }
+    current_cost[i] = *c;
     total_cost += queries[i].weight * current_cost[i];
   }
   result.initial_cost = total_cost;
@@ -74,8 +92,15 @@ EnumerationResult GreedyEnumerate(
   uint64_t used_storage = 0;
 
   while (static_cast<int>(result.configuration.size()) < max_indexes) {
-    if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+    const Status round_check = budget.CheckCancelled();
+    if (!round_check.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(round_check);
       break;  // anytime: keep what we have
+    }
+    const Status round_fault = ISUM_FAULT_POINT("advisor.enumerate");
+    if (!round_fault.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(round_fault);
+      break;
     }
     // Candidates eligible this round (unused + fitting the budget).
     std::vector<size_t> eligible;
@@ -92,21 +117,65 @@ EnumerationResult GreedyEnumerate(
     explored_counter->Add(eligible.size());
     result.configurations_explored += eligible.size();
 
+    // When a budget is attached, candidate evaluations run under a per-round
+    // child token: the first worker to observe expiry/cancellation fires it,
+    // so the rest of the batch is skipped instead of costed pointlessly.
+    // With no budget the round token stays null (zero-cost path).
+    CancellationToken round_cancel;
+    if (budget.limited()) round_cancel = budget.token().Child();
+    const TimeBudget round_budget(budget.deadline(), round_cancel);
+
     std::vector<CandidateEvaluation> evaluations(eligible.size());
     auto evaluate = [&](size_t e) {
-      evaluations[e] = EvaluateCandidate(what_if, queries, result.configuration,
-                                         pool[eligible[e]], current_cost);
+      evaluations[e] =
+          EvaluateCandidate(what_if, queries, result.configuration,
+                            pool[eligible[e]], current_cost, round_budget);
+      const Status& st = evaluations[e].status;
+      if (!st.ok() && st.code() != StatusCode::kUnavailable &&
+          round_cancel.cancellable()) {
+        round_cancel.Cancel();
+      }
     };
     if (pool_threads != nullptr) {
-      pool_threads->ParallelFor(eligible.size(), evaluate);
+      pool_threads->ParallelFor(eligible.size(), evaluate, round_cancel);
     } else {
-      for (size_t e = 0; e < eligible.size(); ++e) evaluate(e);
+      for (size_t e = 0; e < eligible.size(); ++e) {
+        evaluate(e);
+        if (round_cancel.cancelled()) break;
+      }
+    }
+
+    // A deadline/cancellation mid-round invalidates the round: which
+    // candidates finished depends on timing, so applying a winner here would
+    // make the output nondeterministic. Keep the configuration from the
+    // completed rounds instead.
+    Status stop_status;
+    size_t faulted = 0;
+    for (size_t e = 0; e < eligible.size(); ++e) {
+      const Status& st = evaluations[e].status;
+      if (st.ok()) continue;
+      if (st.code() == StatusCode::kUnavailable) {
+        ++faulted;
+      } else if (stop_status.ok()) {
+        stop_status = st;
+      }
+    }
+    if (!stop_status.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(stop_status);
+      break;
+    }
+    if (faulted == eligible.size()) {
+      // Every candidate failed persistently: nothing left to cost.
+      result.stop_reason = StopReason::kFault;
+      break;
     }
 
     // Deterministic reduction: best improvement, ties to the lowest index.
+    // Candidates whose costing failed are treated as non-improving.
     size_t best_e = eligible.size();
     double best_improvement = 0.0;
     for (size_t e = 0; e < eligible.size(); ++e) {
+      if (!evaluations[e].status.ok()) continue;
       if (evaluations[e].improvement > best_improvement) {
         best_improvement = evaluations[e].improvement;
         best_e = e;

@@ -1,11 +1,10 @@
 #ifndef ISUM_ADVISOR_ENUMERATOR_H_
 #define ISUM_ADVISOR_ENUMERATOR_H_
 
-#include <chrono>
-#include <optional>
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "common/deadline.h"
 
 namespace isum::advisor {
 
@@ -15,6 +14,10 @@ struct EnumerationResult {
   uint64_t configurations_explored = 0;
   double initial_cost = 0.0;
   double final_cost = 0.0;
+  /// kComplete, or why enumeration stopped early. On early stop the
+  /// configuration holds only fully-evaluated rounds — a partially costed
+  /// round is never applied (docs/ROBUSTNESS.md).
+  StopReason stop_reason = StopReason::kComplete;
 };
 
 /// Greedily grows a configuration from `pool`: each round adds the candidate
@@ -22,18 +25,21 @@ struct EnumerationResult {
 /// storage budget, stopping at `max_indexes` or when no candidate improves.
 /// Re-costs only queries referencing the candidate's table (plus the
 /// memoization in `what_if`), which is what makes enumeration tractable.
-/// `deadline` (steady-clock, optional) makes enumeration anytime: the round
-/// in flight finishes, no further rounds start. `num_threads` > 1 evaluates
-/// candidates concurrently (same result for any thread count: the winner is
-/// reduced deterministically).
+/// `budget` makes enumeration anytime: it is observed at round boundaries
+/// and inside every what-if call, and on expiry the configuration built so
+/// far is returned with stop_reason set. Candidates whose costing fails
+/// persistently under fault injection are treated as non-improving; a round
+/// where *every* candidate fails stops enumeration with
+/// StopReason::kFault. `num_threads` > 1 evaluates candidates concurrently
+/// (same result for any thread count: the winner is reduced
+/// deterministically; on cancellation the in-flight batch is drained before
+/// returning).
 EnumerationResult GreedyEnumerate(
     engine::WhatIfOptimizer& what_if,
     const std::vector<WeightedQuery>& queries,
     const std::vector<engine::Index>& pool, int max_indexes,
     uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
-    std::optional<std::chrono::steady_clock::time_point> deadline =
-        std::nullopt,
-    int num_threads = 1);
+    const TimeBudget& budget = {}, int num_threads = 1);
 
 }  // namespace isum::advisor
 

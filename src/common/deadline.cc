@@ -1,0 +1,145 @@
+#include "common/deadline.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace isum {
+
+namespace {
+
+std::atomic<MonotonicClockFn> g_clock_override{nullptr};
+std::atomic<SleepFn> g_sleep_override{nullptr};
+
+std::mutex g_ambient_mu;
+TimeBudget g_ambient_budget;  // guarded by g_ambient_mu
+
+obs::Counter* DeadlineExceededCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("deadline.exceeded");
+  return counter;
+}
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  const MonotonicClockFn fn = g_clock_override.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetMonotonicClockForTest(MonotonicClockFn fn) {
+  g_clock_override.store(fn, std::memory_order_relaxed);
+}
+
+void SleepForNanos(uint64_t nanos) {
+  const SleepFn fn = g_sleep_override.load(std::memory_order_relaxed);
+  if (fn != nullptr) {
+    fn(nanos);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+void SetSleepForTest(SleepFn fn) {
+  g_sleep_override.store(fn, std::memory_order_relaxed);
+}
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kComplete:
+      return "complete";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  if (seconds <= 0.0) {
+    d.nanos_ = MonotonicNanos();
+    return d;
+  }
+  const double nanos = seconds * 1e9;
+  // Saturate absurd budgets instead of overflowing into the past.
+  if (nanos >= static_cast<double>(kNoDeadline) ||
+      static_cast<uint64_t>(nanos) >= kNoDeadline - MonotonicNanos()) {
+    return d;  // effectively unlimited
+  }
+  d.nanos_ = MonotonicNanos() + static_cast<uint64_t>(nanos);
+  return d;
+}
+
+uint64_t Deadline::remaining_nanos() const {
+  if (unlimited()) return kNoDeadline;
+  const uint64_t now = MonotonicNanos();
+  return now >= nanos_ ? 0 : nanos_ - now;
+}
+
+CancellationToken CancellationToken::Cancellable() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::Child() const {
+  auto state = std::make_shared<State>();
+  state->parent = state_;
+  return CancellationToken(std::move(state));
+}
+
+void CancellationToken::Cancel() const {
+  ISUM_CHECK_MSG(state_ != nullptr,
+                 "Cancel() on a null (non-cancellable) token");
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+Status TimeBudget::CheckCancelled() const {
+  if (token_.cancelled()) {
+    return Status::Cancelled("cancellation token fired");
+  }
+  if (deadline_.expired()) {
+    DeadlineExceededCounter()->Add(1);
+    return Status::DeadlineExceeded("time budget expired");
+  }
+  return Status::OK();
+}
+
+StopReason TimeBudget::ReasonFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return StopReason::kComplete;
+    case StatusCode::kCancelled:
+      return StopReason::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return StopReason::kDeadline;
+    default:
+      return StopReason::kFault;
+  }
+}
+
+void InstallAmbientBudget(const TimeBudget& budget) {
+  std::lock_guard<std::mutex> lock(g_ambient_mu);
+  g_ambient_budget = budget;
+}
+
+TimeBudget AmbientBudget() {
+  std::lock_guard<std::mutex> lock(g_ambient_mu);
+  return g_ambient_budget;
+}
+
+TimeBudget EffectiveBudget(const TimeBudget& local) {
+  if (local.limited()) return local;
+  return AmbientBudget();
+}
+
+}  // namespace isum

@@ -1,0 +1,209 @@
+#ifndef ISUM_COMMON_DEADLINE_H_
+#define ISUM_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace isum {
+
+/// Deadlines, cancellation, and time budgets for the tuning pipeline.
+///
+/// ISUM's value proposition is tuning under a budget (what-if calls, wall
+/// clock). This header is the library-wide vocabulary for "stop cleanly when
+/// the budget expires": a monotonic Deadline, a hierarchical
+/// CancellationToken, and the TimeBudget that combines them. Long-running
+/// stages (greedy selection, candidate generation, configuration
+/// enumeration) call TimeBudget::CheckCancelled() cooperatively and return
+/// best-so-far results tagged with a StopReason instead of aborting.
+/// Semantics are documented in docs/ROBUSTNESS.md.
+///
+/// Cost model: an unlimited budget short-circuits without reading the clock
+/// or touching any atomic, so the layer is zero-cost when no budget is set.
+
+/// ---- Injectable monotonic clock ----
+///
+/// Every deadline/backoff time read in the library goes through
+/// MonotonicNanos()/SleepForNanos() so tests can substitute a deterministic
+/// clock. The isum_lint rule `isum-no-raw-clock` enforces this outside
+/// src/common/ and src/obs/.
+
+using MonotonicClockFn = uint64_t (*)();
+using SleepFn = void (*)(uint64_t nanos);
+
+/// Nanoseconds from the process monotonic clock (or the test override).
+uint64_t MonotonicNanos();
+
+/// Test hook: replaces the clock (nullptr restores the steady clock).
+void SetMonotonicClockForTest(MonotonicClockFn fn);
+
+/// Blocks for `nanos` (or invokes the test override, which may not block).
+void SleepForNanos(uint64_t nanos);
+
+/// Test hook: replaces the sleeper (nullptr restores the real sleep).
+void SetSleepForTest(SleepFn fn);
+
+/// ---- Stop reasons ----
+
+/// Why a pipeline stage returned: the `stop_reason` taxonomy carried by
+/// SelectionResult, CompressedWorkload, TuningResult, and EvaluationResult
+/// (docs/ROBUSTNESS.md).
+enum class StopReason {
+  kComplete = 0,  ///< ran to its natural fixpoint
+  kDeadline,      ///< time budget expired; result is best-so-far
+  kCancelled,     ///< cancellation token fired; result is best-so-far
+  kFault,         ///< a persistent (non-retryable) failure cut the run short
+};
+
+/// Short stable name, e.g. "deadline" (used in reports and tests).
+const char* StopReasonToString(StopReason reason);
+
+/// ---- Deadline ----
+
+/// A point on the monotonic clock. Value type; an unlimited deadline never
+/// reads the clock.
+class Deadline {
+ public:
+  static constexpr uint64_t kNoDeadline = ~uint64_t{0};
+
+  /// Unlimited (never expires).
+  Deadline() = default;
+
+  /// Expires `seconds` from now. Non-positive budgets expire immediately.
+  static Deadline After(double seconds);
+
+  /// Expires at an absolute MonotonicNanos() reading (test construction).
+  static Deadline AtNanos(uint64_t monotonic_nanos) {
+    Deadline d;
+    d.nanos_ = monotonic_nanos;
+    return d;
+  }
+
+  bool unlimited() const { return nanos_ == kNoDeadline; }
+
+  /// True once the clock passed the deadline. No clock read when unlimited.
+  bool expired() const { return !unlimited() && MonotonicNanos() >= nanos_; }
+
+  /// Nanoseconds until expiry (0 if expired, kNoDeadline if unlimited).
+  uint64_t remaining_nanos() const;
+
+  uint64_t nanos() const { return nanos_; }
+
+ private:
+  uint64_t nanos_ = kNoDeadline;
+};
+
+/// ---- CancellationToken ----
+
+/// A hierarchical cooperative cancellation flag. Default-constructed tokens
+/// are "null": never cancelled, not cancellable, zero-cost to check.
+/// Cancellable tokens share state through copies; Child() tokens observe
+/// their parent chain, so cancelling a parent cancels every descendant
+/// while a child's Cancel() stays local to its subtree.
+///
+/// Thread-safe: Cancel() and cancelled() are relaxed atomics; a cancelled()
+/// check walks the (short, immutable) parent chain.
+class CancellationToken {
+ public:
+  /// Null token: never cancelled.
+  CancellationToken() = default;
+
+  /// A fresh cancellable root token.
+  static CancellationToken Cancellable();
+
+  /// A cancellable token that also observes this token's cancellation.
+  /// A child of a null token is a fresh root.
+  CancellationToken Child() const;
+
+  /// Fires this token (and, transitively, its children). Requires a
+  /// cancellable token. Idempotent.
+  void Cancel() const;
+
+  bool cancellable() const { return state_ != nullptr; }
+
+  /// True once this token or any ancestor was cancelled.
+  bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancellationToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// ---- TimeBudget ----
+
+/// Deadline + cancellation token, passed by value through the pipeline.
+/// Stages poll CheckCancelled() at loop boundaries; a non-OK status means
+/// "stop cleanly now and return best-so-far".
+class TimeBudget {
+ public:
+  /// Unlimited budget: CheckCancelled() always OK, zero-cost.
+  TimeBudget() = default;
+
+  explicit TimeBudget(Deadline deadline, CancellationToken token = {})
+      : deadline_(deadline), token_(std::move(token)) {}
+
+  /// Budget expiring `seconds` from now.
+  static TimeBudget After(double seconds) {
+    return TimeBudget(Deadline::After(seconds));
+  }
+
+  /// True when either a deadline or a cancellation token is attached.
+  bool limited() const { return !deadline_.unlimited() || token_.cancellable(); }
+
+  /// OK while the budget holds; Status::Cancelled() once the token fired
+  /// (checked first), Status::DeadlineExceeded() once the deadline passed.
+  /// Each deadline-exceeded observation bumps the process-wide
+  /// "deadline.exceeded" counter.
+  Status CheckCancelled() const;
+
+  /// Boolean form of CheckCancelled() for hot loops that only need to know
+  /// whether to stop (no counter bump, no Status allocation).
+  bool Expired() const {
+    return token_.cancelled() || deadline_.expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& token() const { return token_; }
+
+  /// The StopReason matching a non-OK CheckCancelled() status.
+  static StopReason ReasonFor(const Status& status);
+
+ private:
+  Deadline deadline_;
+  CancellationToken token_;
+};
+
+/// ---- Ambient (process-wide) budget ----
+///
+/// Bench drivers install a whole-run budget (--time-budget=) once; library
+/// entry points that were not handed an explicit budget fall back to it via
+/// EffectiveBudget(). Install/read are mutex-guarded (entry-point rate, not
+/// per-iteration).
+
+/// Installs `budget` as the process-wide default (an unlimited budget
+/// clears it).
+void InstallAmbientBudget(const TimeBudget& budget);
+
+/// The currently installed ambient budget (unlimited if none).
+TimeBudget AmbientBudget();
+
+/// `local` when it is limited, otherwise the ambient budget.
+TimeBudget EffectiveBudget(const TimeBudget& local);
+
+}  // namespace isum
+
+#endif  // ISUM_COMMON_DEADLINE_H_

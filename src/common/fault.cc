@@ -1,0 +1,167 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/hash.h"
+#include "common/jsonl.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace isum {
+
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x5EED;
+
+/// splitmix64 finalizer: turns the (seed, site, invocation) combination into
+/// well-mixed bits so low-entropy inputs still give uniform decisions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from 64 mixed bits.
+double ToUnit(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+obs::Counter* InjectedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("fault.injected");
+  return counter;
+}
+
+/// Splits the spec into its `;`-separated JSON entries, dropping blanks.
+std::vector<std::string> SplitEntries(const std::string& spec) {
+  std::vector<std::string> entries;
+  std::string current;
+  for (char c : spec + ";") {
+    if (c == ';') {
+      const std::string t(Trim(current));
+      if (!t.empty()) entries.push_back(t);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return entries;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  auto config = std::make_shared<Config>();
+  config->seed = kDefaultSeed;
+  for (const std::string& entry : SplitEntries(spec)) {
+    if (JsonHasKey(entry, "seed")) {
+      ISUM_ASSIGN_OR_RETURN(const double seed,
+                            JsonExtractNumber(entry, "seed"));
+      if (seed < 0.0) {
+        return Status::InvalidArgument("fault spec: seed must be >= 0 in " +
+                                       entry);
+      }
+      config->seed = static_cast<uint64_t>(seed);
+      continue;
+    }
+    auto fault = std::make_unique<Fault>();
+    ISUM_ASSIGN_OR_RETURN(fault->site, JsonExtractString(entry, "site"));
+    ISUM_ASSIGN_OR_RETURN(const std::string kind,
+                          JsonExtractString(entry, "kind"));
+    if (kind == "error") {
+      fault->kind = Kind::kError;
+    } else if (kind == "latency") {
+      fault->kind = Kind::kLatency;
+    } else {
+      return Status::InvalidArgument("fault spec: unknown kind \"" + kind +
+                                     "\" in " + entry);
+    }
+    ISUM_ASSIGN_OR_RETURN(fault->probability, JsonExtractNumber(entry, "p"));
+    if (fault->probability < 0.0 || fault->probability > 1.0) {
+      return Status::InvalidArgument("fault spec: p must be in [0, 1] in " +
+                                     entry);
+    }
+    if (fault->kind == Kind::kLatency) {
+      ISUM_ASSIGN_OR_RETURN(const double ms, JsonExtractNumber(entry, "ms"));
+      if (ms < 0.0) {
+        return Status::InvalidArgument("fault spec: ms must be >= 0 in " +
+                                       entry);
+      }
+      fault->latency_nanos = static_cast<uint64_t>(ms * 1e6);
+    }
+    fault->site_hash = HashBytes(fault->site);
+    config->faults.push_back(std::move(fault));
+  }
+
+  const bool armed = !config->faults.empty();
+  injected_.store(0, std::memory_order_relaxed);
+  config_.store(armed ? std::shared_ptr<const Config>(std::move(config))
+                      : nullptr,
+                std::memory_order_release);
+  armed_.store(armed, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjector::ConfigureFromEnvironment() {
+  if (Armed()) return Status::OK();  // explicit configuration wins
+  const char* spec = std::getenv("ISUM_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  return Configure(spec);
+}
+
+void FaultInjector::Reset() {
+  armed_.store(false, std::memory_order_relaxed);
+  config_.store(nullptr, std::memory_order_release);
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Inject(const char* site) {
+  const std::shared_ptr<const Config> config =
+      config_.load(std::memory_order_acquire);
+  if (config == nullptr) return Status::OK();
+  const std::string_view site_view(site);
+  for (const auto& fault : config->faults) {
+    if (fault->site != "*" && fault->site != site_view) continue;
+    const uint64_t n =
+        fault->invocations.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t bits =
+        Mix(HashCombine(HashCombine(config->seed, fault->site_hash), n));
+    if (ToUnit(bits) >= fault->probability) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    InjectedCounter()->Add(1);
+    if (fault->kind == Kind::kLatency) {
+      SleepForNanos(fault->latency_nanos);
+      continue;  // delayed, not failed; later rules may still fire
+    }
+    return Status::Unavailable(std::string("injected fault at ") + site);
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::seed() const {
+  const std::shared_ptr<const Config> config =
+      config_.load(std::memory_order_acquire);
+  return config == nullptr ? 0 : config->seed;
+}
+
+std::vector<std::string> FaultInjector::ConfiguredSites() const {
+  const std::shared_ptr<const Config> config =
+      config_.load(std::memory_order_acquire);
+  std::vector<std::string> sites;
+  if (config == nullptr) return sites;
+  for (const auto& fault : config->faults) sites.push_back(fault->site);
+  return sites;
+}
+
+}  // namespace isum

@@ -20,6 +20,14 @@ enum class StatusCode {
   kBindError,
   kUnimplemented,
   kInternal,
+  /// A time budget (Deadline) expired before the operation finished.
+  kDeadlineExceeded,
+  /// A CancellationToken fired before the operation finished.
+  kCancelled,
+  /// A transient failure (e.g. an injected fault or a flaky optimizer
+  /// call); the operation may succeed if retried. Retry loops only retry
+  /// this code (docs/ROBUSTNESS.md).
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code`, e.g. "ParseError".
@@ -58,6 +66,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -57,6 +57,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     size_t index = 0;
     const std::function<void(size_t)>* fn = nullptr;
+    const CancellationToken* cancel = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] {
@@ -65,8 +66,11 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       index = next_index_++;
       fn = batch_fn_;
+      cancel = batch_cancel_;
     }
-    (*fn)(index);
+    // Early exit: a cancelled batch skips indexes that have not started,
+    // so the caller's ParallelFor unblocks promptly.
+    if (cancel == nullptr || !cancel->cancelled()) (*fn)(index);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (++completed_ == batch_size_) work_done_.notify_all();
@@ -74,7 +78,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const CancellationToken& cancel) {
   if (n == 0) return;
   ISUM_TRACE_SPAN("threadpool/parallel_for");
   PoolMetrics::Get().batches->Add(1);
@@ -82,6 +87,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_fn_ = &fn;
+    batch_cancel_ = cancel.cancellable() ? &cancel : nullptr;
     batch_size_ = n;
     next_index_ = 0;
     completed_ = 0;
@@ -90,6 +96,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return completed_ == batch_size_; });
   batch_fn_ = nullptr;
+  batch_cancel_ = nullptr;
 }
 
 }  // namespace isum

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace isum {
 
 /// A small fixed-size worker pool. Used for embarrassingly parallel
@@ -27,7 +29,15 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), distributing across workers; blocks until
   /// every call returned. fn must not throw.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// `cancel` (optional) makes the batch early-exiting: once the token
+  /// fires, indexes not yet started are skipped (the batch drains promptly
+  /// instead of running every remaining fn). In-flight calls finish —
+  /// cancellation is cooperative, so fn should also poll the token if a
+  /// single call can run long. ParallelFor still returns only after every
+  /// claimed index completed or was skipped.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancellationToken& cancel = {});
 
  private:
   void WorkerLoop();
@@ -38,6 +48,7 @@ class ThreadPool {
   std::condition_variable work_done_;
   // Current batch state (one ParallelFor at a time).
   const std::function<void(size_t)>* batch_fn_ = nullptr;
+  const CancellationToken* batch_cancel_ = nullptr;
   size_t batch_size_ = 0;
   size_t next_index_ = 0;
   size_t completed_ = 0;

@@ -1,13 +1,27 @@
 #include "core/allpairs.h"
 
+#include "common/fault.h"
 #include "core/benefit.h"
 
 namespace isum::core {
 
 SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
-                                     UpdateStrategy strategy) {
+                                     UpdateStrategy strategy,
+                                     const TimeBudget& budget) {
   SelectionResult result;
   while (result.selected.size() < k) {
+    // Cooperative stop: budget expiry or an injected fault ends selection
+    // with the (valid) prefix chosen so far.
+    const Status round = budget.CheckCancelled();
+    if (!round.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(round);
+      break;
+    }
+    const Status fault = ISUM_FAULT_POINT("compress.select");
+    if (!fault.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(fault);
+      break;
+    }
     // Algorithm 2, line 12: when every remaining query is fully covered,
     // reset features to their original weights and keep going.
     std::vector<size_t> eligible = state.EligibleQueries();

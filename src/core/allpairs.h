@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/compression_state.h"
 
 namespace isum::core {
@@ -12,14 +13,21 @@ namespace isum::core {
 struct SelectionResult {
   std::vector<size_t> selected;
   std::vector<double> selection_benefits;
+  /// kComplete, or why selection stopped early with a best-so-far prefix
+  /// (time budget, cancellation, injected fault — docs/ROBUSTNESS.md).
+  StopReason stop_reason = StopReason::kComplete;
 };
 
 /// Algorithms 1–2 of the paper: in each of k rounds, scan all pairs to find
 /// the query with the maximum conditional benefit, select it, and update the
 /// remaining queries per `strategy` (resetting features when every
 /// unselected query is fully covered). O(k·n²) similarity evaluations.
+/// `budget` is observed once per round: on expiry the queries selected so
+/// far are returned with stop_reason set (every prefix of a greedy run is a
+/// valid compression).
 SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
-                                     UpdateStrategy strategy);
+                                     UpdateStrategy strategy,
+                                     const TimeBudget& budget = {});
 
 }  // namespace isum::core
 

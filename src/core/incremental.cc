@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace isum::core {
 
@@ -31,6 +32,7 @@ double IncrementalIsum::Benefit(const Candidate& candidate) const {
 }
 
 void IncrementalIsum::Reselect(std::vector<Candidate> pool) {
+  ISUM_TRACE_SPAN("incremental/reselect");
   // Restore current features before greedy re-runs its conditional updates.
   for (Candidate& c : pool) c.features = c.original_features;
 
@@ -73,6 +75,7 @@ void IncrementalIsum::Reselect(std::vector<Candidate> pool) {
 }
 
 void IncrementalIsum::ObserveBatch(size_t begin, size_t end) {
+  ISUM_TRACE_SPAN("incremental/observe-batch");
   ISUM_CHECK(end <= workload_->size());
   std::vector<Candidate> pool = selected_;
   for (size_t i = begin; i < end; ++i) {

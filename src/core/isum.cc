@@ -26,6 +26,7 @@ struct CompressMetrics {
 }  // namespace
 
 SelectionResult Isum::Select(size_t k) const {
+  const TimeBudget budget = EffectiveBudget(options_.budget);
   CompressionState state = [this] {
     // Featurization (and utility estimation) happens inside the
     // CompressionState constructor; give it its own phase span.
@@ -35,9 +36,9 @@ SelectionResult Isum::Select(size_t k) const {
   ISUM_TRACE_SPAN("compress/greedy-pick");
   switch (options_.algorithm) {
     case SelectionAlgorithm::kAllPairs:
-      return AllPairsGreedySelect(state, k, options_.update);
+      return AllPairsGreedySelect(state, k, options_.update, budget);
     case SelectionAlgorithm::kSummaryFeatures:
-      return SummaryGreedySelect(state, k, options_.update);
+      return SummaryGreedySelect(state, k, options_.update, budget);
   }
   return {};
 }
@@ -57,6 +58,7 @@ workload::CompressedWorkload Isum::Compress(size_t k) const {
                                    options_.utility_mode, options_.weighing);
   }
   workload::CompressedWorkload out;
+  out.stop_reason = selection.stop_reason;
   out.entries.reserve(selection.selected.size());
   for (size_t i = 0; i < selection.selected.size(); ++i) {
     out.entries.push_back({selection.selected[i], weights[i]});

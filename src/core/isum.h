@@ -22,6 +22,11 @@ struct IsumOptions {
   SelectionAlgorithm algorithm = SelectionAlgorithm::kSummaryFeatures;
   UpdateStrategy update = UpdateStrategy::kUtilityAndFeatureZero;
   WeighingStrategy weighing = WeighingStrategy::kRecalibratedWithTemplates;
+  /// Deadline/cancellation observed once per greedy round; on expiry
+  /// Compress returns the queries selected so far with
+  /// CompressedWorkload::stop_reason set. Unlimited by default; an
+  /// unlimited budget falls back to the ambient one (common/deadline.h).
+  TimeBudget budget;
 
   /// ISUM-S: stats-based column weights + selectivity-aware utility.
   static IsumOptions StatsVariant() {
@@ -49,7 +54,9 @@ class Isum {
   /// Compresses to (at most) k weighted queries. May return fewer than k
   /// when the remaining queries have no indexable columns at all (nothing
   /// an index tuner could use them for — Algorithm 1 skips zero-feature
-  /// queries, and resetting cannot revive a query that never had features).
+  /// queries, and resetting cannot revive a query that never had features),
+  /// or when the time budget expires mid-selection — then the result is the
+  /// best-so-far prefix with stop_reason set (always a valid compression).
   workload::CompressedWorkload Compress(size_t k) const;
 
   /// Runs only the selection stage (exposed for ablation benches).

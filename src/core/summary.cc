@@ -1,5 +1,7 @@
 #include "core/summary.h"
 
+#include "common/fault.h"
+
 namespace isum::core {
 
 SparseVector ComputeSummaryFeatures(const CompressionState& state) {
@@ -25,9 +27,22 @@ double SummaryInfluence(const SparseVector& query_features, double query_utility
 }
 
 SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
-                                    UpdateStrategy strategy) {
+                                    UpdateStrategy strategy,
+                                    const TimeBudget& budget) {
   SelectionResult result;
   while (result.selected.size() < k) {
+    // Cooperative stop: budget expiry or an injected fault ends selection
+    // with the (valid) prefix chosen so far.
+    const Status round = budget.CheckCancelled();
+    if (!round.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(round);
+      break;
+    }
+    const Status fault = ISUM_FAULT_POINT("compress.select");
+    if (!fault.ok()) {
+      result.stop_reason = TimeBudget::ReasonFor(fault);
+      break;
+    }
     std::vector<size_t> eligible = state.EligibleQueries();
     if (eligible.empty()) {
       state.ResetUnselectedFeatures();

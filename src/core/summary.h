@@ -20,9 +20,11 @@ double SummaryInfluence(const SparseVector& query_features, double query_utility
 /// Algorithm 3 + §6.2: the linear-time greedy. Each round recomputes the
 /// summary features over the unselected queries, scores every eligible query
 /// by utility + S(features, V'), selects the max, and applies `strategy`.
-/// O(k·n·f) where f is the average feature count.
+/// O(k·n·f) where f is the average feature count. `budget` is observed once
+/// per round (see AllPairsGreedySelect).
 SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
-                                    UpdateStrategy strategy);
+                                    UpdateStrategy strategy,
+                                    const TimeBudget& budget = {});
 
 }  // namespace isum::core
 

@@ -6,10 +6,27 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "engine/optimizer.h"
 #include "obs/metrics.h"
 
 namespace isum::engine {
+
+/// Bounded retry-with-exponential-backoff around transient what-if
+/// failures (Status::Unavailable — today only injected faults; a real
+/// optimizer RPC would surface the same code). Backoff sleeps go through
+/// SleepForNanos and are jittered deterministically (docs/ROBUSTNESS.md).
+struct RetryPolicy {
+  /// Total tries (1 = no retry). Each retry bumps "retry.attempts".
+  int max_attempts = 4;
+  /// First backoff; doubles per attempt (capped), jittered to [50%, 100%].
+  uint64_t initial_backoff_nanos = 100'000;  // 100us
+  uint64_t max_backoff_nanos = 10'000'000;   // 10ms
+  double backoff_multiplier = 2.0;
+  /// Jitter seed; fixed default so replays are bit-identical.
+  uint64_t jitter_seed = 0xB0FFull;
+};
 
 /// The "what-if" API [15]: costs a query under a hypothetical index
 /// configuration without building indexes. Results are memoized per
@@ -29,8 +46,26 @@ class WhatIfOptimizer {
   explicit WhatIfOptimizer(const CostModel* cost_model)
       : optimizer_(cost_model) {}
 
-  /// Estimated cost of `query` under `config` (memoized).
+  /// Estimated cost of `query` under `config` (memoized). Infallible thin
+  /// wrapper over TryCost: with no faults configured and no budget it
+  /// cannot fail; under fault injection a persistent failure is a fatal
+  /// contract violation (ISUM_CHECK_OK) — fault-aware callers (the
+  /// advisors) use TryCost instead.
   double Cost(const sql::BoundQuery& query, const Configuration& config);
+
+  /// Fallible what-if call: estimated cost of `query` under `config`
+  /// (memoized), observing `budget` and retrying transient failures per
+  /// retry_policy(). Error returns:
+  ///   kDeadlineExceeded / kCancelled — `budget` ran out (checked before
+  ///     the call and between retries; a backoff never sleeps past the
+  ///     deadline);
+  ///   kUnavailable — the fault site "whatif.cost" kept failing after
+  ///     max_attempts tries.
+  /// Cache hits bypass fault injection and retries entirely: a memoized
+  /// answer needs no optimizer invocation.
+  StatusOr<double> TryCost(const sql::BoundQuery& query,
+                           const Configuration& config,
+                           const TimeBudget& budget = {});
 
   /// Full plan (not memoized; use for explain output).
   PlanSummary Plan(const sql::BoundQuery& query,
@@ -44,6 +79,10 @@ class WhatIfOptimizer {
   uint64_t optimizer_calls() const { return optimizer_calls_.Value(); }
   /// Number of calls answered from the cache.
   uint64_t cache_hits() const { return cache_hits_.Value(); }
+  /// Number of retries after transient what-if failures (0 unless fault
+  /// injection or a flaky backend is active). Mirrored process-wide as
+  /// "retry.attempts".
+  uint64_t retry_attempts() const { return retry_attempts_.Value(); }
   /// Wall-clock seconds spent inside real optimizer invocations (the "time
   /// on optimizer calls" series of the paper's Figure 2a). Accumulated
   /// across threads (sums concurrent work, like CPU time).
@@ -60,6 +99,7 @@ class WhatIfOptimizer {
   void ResetCounters() {
     optimizer_calls_.Reset();
     cache_hits_.Reset();
+    retry_attempts_.Reset();
     optimizer_nanos_.Reset();
   }
   void ClearCache() {
@@ -68,6 +108,11 @@ class WhatIfOptimizer {
       shard.cache.clear();
     }
   }
+
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Replaces the retry policy. Not thread-safe against in-flight calls;
+  /// set it before handing the optimizer to workers.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
  private:
   struct Key {
@@ -89,9 +134,11 @@ class WhatIfOptimizer {
   };
 
   Optimizer optimizer_;
+  RetryPolicy retry_policy_;
   std::array<Shard, kShards> shards_;
   obs::Counter optimizer_calls_;
   obs::Counter cache_hits_;
+  obs::Counter retry_attempts_;
   obs::Counter optimizer_nanos_;
 };
 

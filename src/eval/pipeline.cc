@@ -1,7 +1,6 @@
 #include "eval/pipeline.h"
 
-#include <chrono>
-
+#include "common/deadline.h"
 #include "engine/optimizer.h"
 #include "obs/trace.h"
 
@@ -34,19 +33,23 @@ EvaluationResult RunPipeline(const workload::Workload& workload,
   }
 
   const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
-  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_nanos = MonotonicNanos();
   {
     ISUM_TRACE_SPAN("pipeline/tune");
     result.tuning = tuner(queries);
   }
   result.tuning_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(MonotonicNanos() - start_nanos) * 1e-9;
   {
     ISUM_TRACE_SPAN("pipeline/evaluate");
     result.improvement_percent =
         WorkloadImprovementPercent(workload, result.tuning.configuration);
   }
+  // First early stop along the pipeline wins: a truncated compression is
+  // upstream of (and explains) whatever the tuner then did.
+  result.stop_reason = compressed.stop_reason != StopReason::kComplete
+                           ? compressed.stop_reason
+                           : result.tuning.stop_reason;
   result.metrics = obs::MetricsSnapshot::Delta(
       before, obs::MetricsRegistry::Global().Snapshot());
   return result;

@@ -23,6 +23,10 @@ struct EvaluationResult {
   double tuning_seconds = 0.0;
   advisor::TuningResult tuning;
   workload::CompressedWorkload compressed;
+  /// kComplete, or the first early-stop reason along the pipeline
+  /// (compression before tuning). Partial pipelines still evaluate whatever
+  /// configuration the tuner produced (docs/ROBUSTNESS.md).
+  StopReason stop_reason = StopReason::kComplete;
   /// Registry activity attributable to this pipeline run: the delta of
   /// MetricsRegistry::Global() across tune + evaluate. In a single-threaded
   /// driver, metrics.CounterValue("whatif.optimizer_calls") equals

@@ -6,10 +6,12 @@
 
 #include "common/hash.h"
 #include "exec/expr_eval.h"
+#include "obs/trace.h"
 
 namespace isum::exec {
 
 void Database::MaterializeAll(uint64_t max_rows_per_table, uint64_t seed) {
+  ISUM_TRACE_SPAN("exec/materialize");
   tables_.clear();
   indexes_.clear();
   Rng rng(seed);
@@ -24,6 +26,7 @@ void Database::MaterializeAll(uint64_t max_rows_per_table, uint64_t seed) {
 const IndexData& Database::GetIndex(const engine::Index& index) {
   auto it = indexes_.find(index);
   if (it != indexes_.end()) return it->second;
+  ISUM_TRACE_SPAN("exec/build-index");
   auto [ins, inserted] =
       indexes_.emplace(index, IndexData::Build(index, table(index.table())));
   return ins->second;
@@ -85,6 +88,7 @@ bool EvaluateFilter(const sql::FilterPredicate& f, double v, uint64_t row_key) {
 
 ExecutionResult Executor::Execute(const sql::BoundQuery& query,
                                   const engine::PlanSummary& plan) {
+  ISUM_TRACE_SPAN("exec/execute");
   ExecutionResult result;
   if (plan.tables.empty()) return result;
 
@@ -133,6 +137,7 @@ ExecutionResult Executor::Execute(const sql::BoundQuery& query,
 
   // --- Access one base table per its planned access path. ---
   auto access_rows = [&](const engine::PlannedTable& pt) {
+    ISUM_TRACE_SPAN("exec/scan");
     const TableData& data = database_->table(pt.table);
     const auto filters = filters_of(pt.table);
     std::vector<uint32_t> out;
@@ -230,6 +235,7 @@ ExecutionResult Executor::Execute(const sql::BoundQuery& query,
 
   // --- Joins, in plan order. ---
   for (size_t step = 1; step < plan.tables.size(); ++step) {
+    ISUM_TRACE_SPAN("exec/join");
     const engine::PlannedTable& pt = plan.tables[step];
     const TableData& data = database_->table(pt.table);
     const sql::JoinSemantics sem = semantics.contains(pt.table)
@@ -412,6 +418,7 @@ ExecutionResult Executor::Execute(const sql::BoundQuery& query,
               : (query.distinct ? query.output_columns
                                 : std::vector<catalog::ColumnId>{});
   if (has_agg || query.distinct) {
+    ISUM_TRACE_SPAN("exec/aggregate");
     std::unordered_map<uint64_t, uint64_t> groups;
     for (const Tuple& tuple : tuples) {
       ++result.row_ops;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "sql/binder.h"
 
 namespace isum::exec {
@@ -27,7 +28,7 @@ std::optional<catalog::ColumnId> ExpressionEvaluator::Resolve(
   return found;
 }
 
-std::optional<double> ExpressionEvaluator::Scalar(
+std::optional<double> ExpressionEvaluator::ScalarImpl(
     const sql::Expression& expr, const ValueFn& value_of) const {
   switch (expr.kind()) {
     case sql::ExpressionKind::kLiteral:
@@ -40,8 +41,8 @@ std::optional<double> ExpressionEvaluator::Scalar(
     }
     case sql::ExpressionKind::kBinary: {
       const auto& bin = static_cast<const sql::BinaryExpression&>(expr);
-      auto l = Scalar(bin.lhs(), value_of);
-      auto r = Scalar(bin.rhs(), value_of);
+      auto l = ScalarImpl(bin.lhs(), value_of);
+      auto r = ScalarImpl(bin.rhs(), value_of);
       if (!l || !r) return std::nullopt;
       switch (bin.op()) {
         case sql::BinaryOp::kPlus:
@@ -61,26 +62,26 @@ std::optional<double> ExpressionEvaluator::Scalar(
   }
 }
 
-std::optional<bool> ExpressionEvaluator::Boolean(
+std::optional<bool> ExpressionEvaluator::BooleanImpl(
     const sql::Expression& expr, const ValueFn& value_of) const {
   switch (expr.kind()) {
     case sql::ExpressionKind::kBinary: {
       const auto& bin = static_cast<const sql::BinaryExpression&>(expr);
       if (bin.op() == sql::BinaryOp::kAnd) {
-        auto l = Boolean(bin.lhs(), value_of);
-        auto r = Boolean(bin.rhs(), value_of);
+        auto l = BooleanImpl(bin.lhs(), value_of);
+        auto r = BooleanImpl(bin.rhs(), value_of);
         if (!l || !r) return std::nullopt;
         return *l && *r;
       }
       if (bin.op() == sql::BinaryOp::kOr) {
-        auto l = Boolean(bin.lhs(), value_of);
-        auto r = Boolean(bin.rhs(), value_of);
+        auto l = BooleanImpl(bin.lhs(), value_of);
+        auto r = BooleanImpl(bin.rhs(), value_of);
         if (!l || !r) return std::nullopt;
         return *l || *r;
       }
       if (!sql::IsComparison(bin.op())) return std::nullopt;
-      auto l = Scalar(bin.lhs(), value_of);
-      auto r = Scalar(bin.rhs(), value_of);
+      auto l = ScalarImpl(bin.lhs(), value_of);
+      auto r = ScalarImpl(bin.rhs(), value_of);
       if (!l || !r) return std::nullopt;
       switch (bin.op()) {
         case sql::BinaryOp::kEq:
@@ -100,18 +101,18 @@ std::optional<bool> ExpressionEvaluator::Boolean(
       }
     }
     case sql::ExpressionKind::kUnaryNot: {
-      auto inner = Boolean(
+      auto inner = BooleanImpl(
           static_cast<const sql::UnaryNotExpression&>(expr).child(), value_of);
       if (!inner) return std::nullopt;
       return !*inner;
     }
     case sql::ExpressionKind::kIn: {
       const auto& in = static_cast<const sql::InExpression&>(expr);
-      auto operand = Scalar(in.operand(), value_of);
+      auto operand = ScalarImpl(in.operand(), value_of);
       if (!operand) return std::nullopt;
       bool found = false;
       for (const auto& v : in.values()) {
-        auto value = Scalar(*v, value_of);
+        auto value = ScalarImpl(*v, value_of);
         if (!value) return std::nullopt;
         found = found || (*operand == *value);
       }
@@ -119,9 +120,9 @@ std::optional<bool> ExpressionEvaluator::Boolean(
     }
     case sql::ExpressionKind::kBetween: {
       const auto& bt = static_cast<const sql::BetweenExpression&>(expr);
-      auto operand = Scalar(bt.operand(), value_of);
-      auto lo = Scalar(bt.lo(), value_of);
-      auto hi = Scalar(bt.hi(), value_of);
+      auto operand = ScalarImpl(bt.operand(), value_of);
+      auto lo = ScalarImpl(bt.lo(), value_of);
+      auto hi = ScalarImpl(bt.hi(), value_of);
       if (!operand || !lo || !hi) return std::nullopt;
       const bool in_range = *operand >= *lo && *operand <= *hi;
       return bt.negated() ? !in_range : in_range;
@@ -135,6 +136,17 @@ std::optional<bool> ExpressionEvaluator::Boolean(
     default:
       return std::nullopt;
   }
+}
+
+std::optional<double> ExpressionEvaluator::Scalar(
+    const sql::Expression& expr, const ValueFn& value_of) const {
+  return ScalarImpl(expr, value_of);
+}
+
+std::optional<bool> ExpressionEvaluator::Boolean(
+    const sql::Expression& expr, const ValueFn& value_of) const {
+  ISUM_TRACE_SPAN("exec/expr-eval");
+  return BooleanImpl(expr, value_of);
 }
 
 }  // namespace isum::exec

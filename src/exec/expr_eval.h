@@ -34,12 +34,21 @@ class ExpressionEvaluator {
                                const ValueFn& value_of) const;
 
   /// Truth value of a boolean expression; nullopt if not evaluable.
+  /// Emits one "exec/expr-eval" span per top-level call (recursion into
+  /// sub-expressions does not nest spans); pair with --trace-every=N
+  /// sampling in hot loops.
   std::optional<bool> Boolean(const sql::Expression& expr,
                               const ValueFn& value_of) const;
 
  private:
   std::optional<catalog::ColumnId> Resolve(
       const sql::ColumnRefExpression& ref) const;
+
+  /// Recursive cores (no tracing, so spans do not nest per sub-expression).
+  std::optional<double> ScalarImpl(const sql::Expression& expr,
+                                   const ValueFn& value_of) const;
+  std::optional<bool> BooleanImpl(const sql::Expression& expr,
+                                  const ValueFn& value_of) const;
 
   const catalog::Catalog* catalog_;
   const std::unordered_map<std::string, catalog::TableId>* alias_map_;

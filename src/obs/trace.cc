@@ -39,6 +39,8 @@ void Tracer::Enable() {
     std::lock_guard<std::mutex> thread_lock(thread->mu);
     thread->spans.clear();
     thread->depth = 0;
+    thread->root_count = 0;
+    thread->skip_depth = 0;
   }
   session_start_nanos_.store(NowNanos(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
@@ -75,8 +77,21 @@ void Tracer::SetCurrentThreadName(std::string name) {
 }
 
 void TraceSpan::Begin(Tracer& tracer, const char* name) {
-  name_ = name;
   state_ = tracer.CurrentThreadState();
+  // Sampling: while inside a skipped root span only track nesting so the
+  // skip ends with the root (name_ stays null -> End() just unwinds).
+  if (state_->skip_depth > 0) {
+    ++state_->skip_depth;
+    return;
+  }
+  if (state_->depth == 0) {
+    const uint64_t every = tracer.sample_every();
+    if (every > 1 && (state_->root_count++ % every) != 0) {
+      state_->skip_depth = 1;
+      return;
+    }
+  }
+  name_ = name;
   depth_ = state_->depth++;
   start_raw_nanos_ = tracer.NowNanos();
   const uint64_t session_start =
@@ -86,6 +101,10 @@ void TraceSpan::Begin(Tracer& tracer, const char* name) {
 }
 
 void TraceSpan::End() {
+  if (name_ == nullptr) {
+    --state_->skip_depth;
+    return;
+  }
   Tracer& tracer = Tracer::Global();
   const uint64_t end = tracer.NowNanos();
   SpanRecord record;

@@ -57,6 +57,17 @@ class Tracer {
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Sampling: record only every Nth *top-level* span tree per thread
+  /// (0 and 1 record everything). A skipped root also skips its nested
+  /// spans, so sampled traces keep their parent/child structure; counters
+  /// are unaffected. Exposed to bench drivers as --trace-every=N.
+  void SetSampleEvery(uint64_t every) {
+    sample_every_.store(every == 0 ? 1 : every, std::memory_order_relaxed);
+  }
+  uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
   /// Merges and clears every thread's buffer. Call after Disable() and
   /// after worker threads have quiesced.
   TraceDump Drain();
@@ -79,6 +90,9 @@ class Tracer {
   struct ThreadState {
     uint32_t tid = 0;
     uint32_t depth = 0;
+    /// Sampling state: root spans seen, and >0 while inside a skipped tree.
+    uint64_t root_count = 0;
+    uint32_t skip_depth = 0;
     std::string name;
     std::mutex mu;  ///< guards `spans` (owner appends, Drain steals)
     std::vector<SpanRecord> spans;
@@ -88,6 +102,7 @@ class Tracer {
   ThreadState* CurrentThreadState();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> sample_every_{1};
   std::atomic<ClockFn> clock_{nullptr};
   std::atomic<uint64_t> session_start_nanos_{0};
   mutable std::mutex mu_;  ///< guards `threads_` and thread names

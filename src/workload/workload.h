@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "engine/cost_model.h"
 #include "sql/bound_query.h"
@@ -86,6 +87,9 @@ struct CompressedWorkload {
     double weight = 1.0;
   };
   std::vector<Entry> entries;
+  /// kComplete, or why selection stopped early — the entries are then the
+  /// valid best-so-far prefix of the greedy run (docs/ROBUSTNESS.md).
+  StopReason stop_reason = StopReason::kComplete;
 
   size_t size() const { return entries.size(); }
 

@@ -93,7 +93,66 @@ TEST(LintNondeterminism, FlagsClockReadsOnlyInCore) {
       "auto t = std::chrono::steady_clock::now();\n";
   EXPECT_TRUE(HasRule(Lint("src/core/isum.cc", snippet),
                       "isum-no-nondeterminism"));
-  EXPECT_TRUE(Lint("src/engine/what_if.cc", snippet).empty());
+  // Outside core the nondeterminism rule stays quiet; the raw-clock rule
+  // (tested below) takes over.
+  EXPECT_FALSE(HasRule(Lint("src/engine/what_if.cc", snippet),
+                       "isum-no-nondeterminism"));
+}
+
+TEST(LintNoRawClock, FlagsDirectClockReadsInLibraryCode) {
+  for (const char* clock :
+       {"steady_clock", "system_clock", "high_resolution_clock"}) {
+    const auto vs =
+        Lint("src/engine/what_if.cc",
+             "auto t = std::chrono::" + std::string(clock) + "::now();\n");
+    EXPECT_TRUE(HasRule(vs, "isum-no-raw-clock")) << clock;
+  }
+}
+
+TEST(LintNoRawClock, FlagsRawSleeps) {
+  const auto vs =
+      Lint("src/advisor/advisor.cc",
+           "std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+           "std::this_thread::sleep_until(when);\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "isum-no-raw-clock");
+  EXPECT_NE(vs[0].message.find("SleepForNanos"), std::string::npos);
+  EXPECT_EQ(vs[1].line, 2);
+}
+
+TEST(LintNoRawClock, ExemptsTheClockImplementationAndTracer) {
+  const std::string snippet =
+      "auto t = std::chrono::steady_clock::now();\n"
+      "std::this_thread::sleep_for(d);\n";
+  EXPECT_FALSE(
+      HasRule(Lint("src/common/deadline.cc", snippet), "isum-no-raw-clock"));
+  EXPECT_FALSE(
+      HasRule(Lint("src/obs/trace.cc", snippet), "isum-no-raw-clock"));
+  // Non-src trees (bench drivers, tests) are out of scope for this rule.
+  EXPECT_FALSE(
+      HasRule(Lint("bench/bench_util.h", snippet), "isum-no-raw-clock"));
+}
+
+TEST(LintNoRawClock, MentionOfClockWithoutNowIsFine) {
+  // Naming the type (e.g. in a using-declaration) without reading it is
+  // allowed; only ::now() reads are flagged.
+  EXPECT_FALSE(HasRule(
+      Lint("src/engine/what_if.cc",
+           "using clock_t2 = std::chrono::steady_clock;\n"),
+      "isum-no-raw-clock"));
+}
+
+TEST(LintNoRawClock, HonorsNolint) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/engine/what_if.cc",
+           "auto t = std::chrono::steady_clock::now();"
+           "  // NOLINT(isum-no-raw-clock)\n"),
+      "isum-no-raw-clock"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/engine/what_if.cc",
+           "// NOLINTNEXTLINE(isum-no-raw-clock)\n"
+           "std::this_thread::sleep_for(d);\n"),
+      "isum-no-raw-clock"));
 }
 
 TEST(LintIncludeGuard, AcceptsCanonicalGuard) {
@@ -260,13 +319,13 @@ TEST(LintOutput, ViolationFormatsAsFileLineCol) {
                               "use ISUM_CHECK or return a Status");
 }
 
-TEST(LintRules, KnownRulesListsAllSixRules) {
+TEST(LintRules, KnownRulesListsAllSevenRules) {
   const auto rules = KnownRules();
-  EXPECT_EQ(rules.size(), 6u);
+  EXPECT_EQ(rules.size(), 7u);
   for (const char* r :
        {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
         "isum-include-guard", "isum-missing-override",
-        "isum-unchecked-status"}) {
+        "isum-unchecked-status", "isum-no-raw-clock"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
 }

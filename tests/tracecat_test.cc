@@ -130,5 +130,34 @@ TEST(TracecatReport, EmptyTraceStillRenders) {
   EXPECT_NE(report.find("(no spans)"), std::string::npos);
 }
 
+TEST(TracecatReport, RendersRobustnessCountersWhenPresent) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("fault.injected")->Add(12);
+  registry.GetCounter("retry.attempts")->Add(34);
+  registry.GetCounter("deadline.exceeded")->Add(5);
+  const auto metrics =
+      ParseMetricsJsonl(obs::MetricsJsonl(registry.Snapshot()));
+  ASSERT_TRUE(metrics.ok());
+  const std::string report = Report({}, metrics.value(), 10);
+  EXPECT_NE(report.find("== robustness =="), std::string::npos);
+  EXPECT_NE(report.find("faults injected:   12"), std::string::npos);
+  EXPECT_NE(report.find("retry attempts:    34"), std::string::npos);
+  EXPECT_NE(report.find("deadline exceeded: 5"), std::string::npos);
+}
+
+TEST(TracecatReport, OmitsRobustnessSectionOnCleanRuns) {
+  // Counters registered but all zero (the common fault-free run): the
+  // section must not clutter the report.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("fault.injected");
+  registry.GetCounter("retry.attempts");
+  registry.GetCounter("deadline.exceeded");
+  const auto metrics =
+      ParseMetricsJsonl(obs::MetricsJsonl(registry.Snapshot()));
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(Report({}, metrics.value(), 10).find("== robustness =="),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace isum::tracecat

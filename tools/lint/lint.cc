@@ -16,6 +16,7 @@ constexpr const char kNoNondeterminism[] = "isum-no-nondeterminism";
 constexpr const char kIncludeGuard[] = "isum-include-guard";
 constexpr const char kMissingOverride[] = "isum-missing-override";
 constexpr const char kUncheckedStatus[] = "isum-unchecked-status";
+constexpr const char kNoRawClock[] = "isum-no-raw-clock";
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -175,8 +176,9 @@ std::string Violation::ToString() const {
 }
 
 std::vector<std::string> KnownRules() {
-  return {kNoAssert,     kNoStdio,         kNoNondeterminism,
-          kIncludeGuard, kMissingOverride, kUncheckedStatus};
+  return {kNoAssert,         kNoStdio,         kNoNondeterminism,
+          kIncludeGuard,     kMissingOverride, kUncheckedStatus,
+          kNoRawClock};
 }
 
 std::string StripCommentsAndLiterals(const std::string& line,
@@ -289,6 +291,11 @@ void LintFile(const std::string& path, const std::string& content,
   const bool is_header = path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
   const bool is_rng = path.find("common/rng.") != std::string::npos;
   const bool is_core = path.find("src/core/") != std::string::npos;
+  // Raw clock reads are allowed only where the injectable clock itself lives
+  // (src/common/deadline.cc) and in the tracer (its own test clock hook).
+  const bool is_clock_home = path.find("src/common/") != std::string::npos ||
+                             path.find("src/obs/") != std::string::npos;
+  const bool is_src = path.find("src/") != std::string::npos;
 
   auto add = [&](int line, size_t col, const char* rule, std::string msg) {
     out->push_back(Violation{path, line, static_cast<int>(col) + 1, rule,
@@ -409,6 +416,31 @@ void LintFile(const std::string& path, const std::string& content,
               "clock reads are banned in core compression algorithms "
               "(results must not depend on wall time); thread timing "
               "through the caller");
+        }
+      }
+    }
+
+    // --- isum-no-raw-clock: time must flow through the injectable clock so
+    //     deadline/backoff behavior is testable and replayable ---
+    if (active(kNoRawClock) && is_src && !is_clock_home) {
+      for (const char* tok :
+           {"steady_clock", "system_clock", "high_resolution_clock"}) {
+        const size_t p = FindToken(code, tok);
+        if (p != std::string::npos &&
+            code.find("::now(", p) != std::string::npos) {
+          add(line_no, p, kNoRawClock,
+              std::string(tok) +
+                  "::now() bypasses the injectable clock; use "
+                  "MonotonicNanos() (common/deadline.h)");
+        }
+      }
+      for (const char* tok : {"sleep_for", "sleep_until"}) {
+        const size_t p = FindCall(code, tok);
+        if (p != std::string::npos) {
+          add(line_no, p, kNoRawClock,
+              std::string(tok) +
+                  "() bypasses the injectable sleeper; use "
+                  "SleepForNanos() (common/deadline.h)");
         }
       }
     }

@@ -226,6 +226,22 @@ std::string Report(const std::vector<TraceEvent>& events,
                        HumanUs(lat->p99 / 1e3).c_str());
     }
   }
+
+  // Robustness counters (docs/ROBUSTNESS.md): only reported when the run
+  // recorded any, so fault-free traces stay unchanged.
+  const MetricLine* injected = FindMetric(metrics, "counter", "fault.injected");
+  const MetricLine* retries = FindMetric(metrics, "counter", "retry.attempts");
+  const MetricLine* deadline =
+      FindMetric(metrics, "counter", "deadline.exceeded");
+  const double n_injected = injected != nullptr ? injected->value : 0.0;
+  const double n_retries = retries != nullptr ? retries->value : 0.0;
+  const double n_deadline = deadline != nullptr ? deadline->value : 0.0;
+  if (n_injected > 0.0 || n_retries > 0.0 || n_deadline > 0.0) {
+    out += "\n== robustness ==\n";
+    out += StrFormat("faults injected:   %.0f\n", n_injected);
+    out += StrFormat("retry attempts:    %.0f\n", n_retries);
+    out += StrFormat("deadline exceeded: %.0f\n", n_deadline);
+  }
   return out;
 }
 
