@@ -1,17 +1,113 @@
 // Figure 2: scalability challenges in index tuning (TPC-DS-like).
 //   2a: total tuning time and time spent on optimizer calls vs. #queries.
 //   2b: configurations explored vs. #queries.
+//
+// Repro extension (the perf-baseline workload of docs/BENCHMARKING.md):
+//   2c: ISUM end-to-end compression time vs. #queries. This is the hot
+//       path the speed campaign optimizes; each row is recorded into the
+//       --bench-json= file (select/compress wall time, selection hash and
+//       benefit sum for quality comparison across revisions).
+//
+// Flags (besides the shared ObsScope set):
+//   --compress-only   skip the slow 2a/2b tuning sweep (baseline recording
+//                     and the bench-smoke CI job only need 2c)
+//   --scale s         scales the 2c workload sizes (default sweep tops out
+//                     at ~100k queries; CI smoke uses --scale 0.01)
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 
 using namespace isum;
 
+namespace {
+
+// FNV-1a over the selected indices: equal selections <=> equal hashes, so
+// trajectory entries can assert "compression quality unchanged" across
+// revisions without storing the full selection.
+uint64_t SelectionHash(const std::vector<size_t>& selected) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t index : selected) {
+    h ^= static_cast<uint64_t>(index);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   isum::bench::ObsScope obs_scope(argc, argv);
   const bool csv = eval::WantCsv(argc, argv);
   const double scale = eval::ScaleArg(argc, argv);
+  const bool compress_only = HasFlag(argc, argv, "--compress-only");
+
+  // --- 2c: compression scalability (always runs; this is the recorded
+  // perf-baseline workload). TPC-DS-like templates, instance counts chosen
+  // to hit each target workload size. ---
+  eval::Table compress_table({"n_queries", "select_time_s", "compress_time_s",
+                              "selected", "benefit_sum"});
+  const size_t kCompressedSize = 50;
+  for (int target : {1000, 5000, 20000, 100000}) {
+    const int n = static_cast<int>(target * scale);
+    if (n < 1) continue;
+    workload::GeneratorOptions gen;
+    gen.instances_per_template = std::max(1, n / 91);
+    workload::GeneratedWorkload env = workload::MakeTpcds(gen);
+    const size_t n_queries = env.workload->size();
+
+    core::Isum isum(env.workload.get());
+    bench::Timer select_timer;
+    const core::SelectionResult selection = isum.Select(kCompressedSize);
+    const double select_seconds = select_timer.Seconds();
+
+    bench::Timer compress_timer;
+    const workload::CompressedWorkload compressed =
+        isum.Compress(kCompressedSize);
+    const double compress_seconds = compress_timer.Seconds();
+
+    double benefit_sum = 0.0;
+    for (double b : selection.selection_benefits) benefit_sum += b;
+
+    compress_table.AddRow(
+        StrFormat("%zu", n_queries),
+        {select_seconds, compress_seconds,
+         static_cast<double>(compressed.entries.size()), benefit_sum});
+
+    bench::BenchRun run;
+    run.name = StrFormat("compress/tpcds/n=%zu", n_queries);
+    run.numbers = {
+        {"n_queries", static_cast<double>(n_queries)},
+        {"k", static_cast<double>(kCompressedSize)},
+        {"select_seconds", select_seconds},
+        {"compress_seconds", compress_seconds},
+        {"selected", static_cast<double>(compressed.entries.size())},
+        {"benefit_sum", benefit_sum},
+    };
+    run.strings = {
+        {"selection_hash",
+         StrFormat("%016llx", static_cast<unsigned long long>(
+                                  SelectionHash(selection.selected)))},
+    };
+    bench::BenchJson::Global().AddRun(std::move(run));
+  }
+  compress_table.Print(
+      "Figure 2c (repro extension): ISUM compression time vs. workload size "
+      "(TPC-DS-like)",
+      csv);
+
+  if (compress_only) {
+    std::printf("\n(--compress-only: skipping the 2a/2b tuning sweep)\n");
+    return 0;
+  }
 
   eval::Table table({"n_queries", "tuning_time_s", "optimizer_call_time_s",
                      "optimizer_calls", "configs_explored"});

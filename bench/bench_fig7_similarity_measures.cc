@@ -62,16 +62,20 @@ int main(int argc, char** argv) {
     const char* paper;
     std::vector<double> benefit;
   };
+  // Candidate generation runs once per query via the cache, not once per
+  // pair — the n² pairwise loops below only merge precomputed id sets.
+  std::vector<const sql::BoundQuery*> query_ptrs;
+  for (size_t i = 0; i < w.size(); ++i) query_ptrs.push_back(&w.query(i).bound);
+  const core::PairwiseSimilarityCache sim_cache(query_ptrs, *env.stats);
+
   std::vector<Variant> variants;
   variants.push_back({"candidate-index Jaccard", "0.66",
                       benefit_with([&](size_t i, size_t j) {
-                        return core::CandidateIndexJaccard(
-                            w.query(i).bound, w.query(j).bound, *env.stats);
+                        return sim_cache.CandidateIndexJaccard(i, j);
                       })});
   variants.push_back({"plain Jaccard (columns)", "0.76",
                       benefit_with([&](size_t i, size_t j) {
-                        return core::IndexableColumnJaccard(w.query(i).bound,
-                                                            w.query(j).bound);
+                        return sim_cache.IndexableColumnJaccard(i, j);
                       })});
   variants.push_back({"weighted Jaccard (rule-based)", "0.87",
                       benefit_with([&](size_t i, size_t j) {

@@ -4,14 +4,20 @@
 // Shared helpers for the experiment harnesses (one binary per paper
 // table/figure). Not part of the library API.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "baselines/gsum.h"
 #include "baselines/kmedoid.h"
@@ -26,7 +32,59 @@
 #include "obs/trace.h"
 #include "workload/workload_factory.h"
 
+// Short git revision baked in by bench/CMakeLists.txt so recorded baselines
+// can be attributed to the code that produced them.
+#ifndef ISUM_GIT_REV
+#define ISUM_GIT_REV "unknown"
+#endif
+
 namespace isum::bench {
+
+/// One named measurement a bench driver records into the --bench-json=
+/// file: arbitrary numeric fields plus optional string fields (hashes,
+/// workload names). See docs/BENCHMARKING.md for the schema.
+struct BenchRun {
+  std::string name;
+  std::vector<std::pair<std::string, double>> numbers;
+  std::vector<std::pair<std::string, std::string>> strings;
+};
+
+/// Process-wide collector for the machine-readable perf baseline
+/// (--bench-json=). Drivers call AddRun() after each measured unit of work;
+/// ObsScope's destructor renders one self-contained JSON record with the
+/// run list, per-phase tracer totals, metric counters, wall time, peak RSS,
+/// and the git revision. Appending records of successive revisions into one
+/// file yields a perf trajectory (BENCH_*.json) that tools/tracecat can
+/// diff; the full workflow is in docs/BENCHMARKING.md.
+class BenchJson {
+ public:
+  static BenchJson& Global() {
+    static BenchJson* instance = new BenchJson();
+    return *instance;
+  }
+
+  void AddRun(BenchRun run) { runs_.push_back(std::move(run)); }
+  const std::vector<BenchRun>& runs() const { return runs_; }
+
+ private:
+  BenchJson() = default;
+  std::vector<BenchRun> runs_;
+};
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+inline uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Uniform observability flags for every bench driver. Declare one at the
 /// top of main():
@@ -48,6 +106,12 @@ namespace isum::bench {
 ///   --time-budget=<s>  install an ambient whole-run time budget of `s`
 ///                      seconds (common/deadline.h); stages stop cleanly
 ///                      with best-so-far results once it expires
+///   --bench-json=<path> write a machine-readable perf record (wall time,
+///                      per-phase span totals, counters, peak RSS, git rev,
+///                      and every BenchJson::AddRun measurement); enables
+///                      the tracer for the run even without --trace=
+///   --bench-label=<s>  label stored in the bench JSON record (defaults to
+///                      "run"); trajectories use e.g. "pre-campaign"
 ///
 /// Files are written from the destructor, after the driver's work joined.
 class ObsScope {
@@ -58,6 +122,7 @@ class ObsScope {
     std::string faults_spec;
     double time_budget_seconds = 0.0;
     uint64_t trace_every = 1;
+    bench_name_ = argc > 0 ? BaseName(argv[0]) : "bench";
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--trace=", 8) == 0) {
@@ -66,6 +131,10 @@ class ObsScope {
         trace_every = std::strtoull(arg + 14, nullptr, 10);
       } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
         metrics_path_ = arg + 10;
+      } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+        bench_json_path_ = arg + 13;
+      } else if (std::strncmp(arg, "--bench-label=", 14) == 0) {
+        bench_label_ = arg + 14;
       } else if (std::strncmp(arg, "--faults=", 9) == 0) {
         faults_spec = arg + 9;
       } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
@@ -95,13 +164,23 @@ class ObsScope {
       InstallAmbientBudget(TimeBudget::After(time_budget_seconds));
     }
     obs::Tracer::Global().SetSampleEvery(trace_every);
-    if (!trace_path_.empty()) obs::Tracer::Global().Enable();
+    if (!trace_path_.empty() || !bench_json_path_.empty()) {
+      obs::Tracer::Global().Enable();
+    }
+    start_ = std::chrono::steady_clock::now();
   }
 
   ~ObsScope() {
-    if (!trace_path_.empty()) {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    obs::TraceDump dump;
+    if (!trace_path_.empty() || !bench_json_path_.empty()) {
       obs::Tracer::Global().Disable();
-      const obs::TraceDump dump = obs::Tracer::Global().Drain();
+      dump = obs::Tracer::Global().Drain();
+    }
+    if (!trace_path_.empty()) {
       Report(obs::WriteFile(trace_path_, obs::ChromeTraceJson(dump)),
              trace_path_, dump.spans.size(), "spans");
     }
@@ -113,6 +192,11 @@ class ObsScope {
              snapshot.counters.size() + snapshot.gauges.size() +
                  snapshot.histograms.size(),
              "metrics");
+    }
+    if (!bench_json_path_.empty()) {
+      const std::string record = RenderBenchJson(dump, wall_seconds);
+      Report(obs::WriteFile(bench_json_path_, record), bench_json_path_,
+             BenchJson::Global().runs().size(), "bench runs");
     }
   }
 
@@ -130,8 +214,104 @@ class ObsScope {
     }
   }
 
+  static std::string BaseName(const char* argv0) {
+    std::string name(argv0);
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    return name;
+  }
+
+  /// Renders one self-contained bench record. The layout is valid JSON kept
+  /// deliberately line-disciplined — one object or scalar per line — so
+  /// tools/tracecat (and grep) can process it without a full JSON parser,
+  /// like the Chrome trace exporter. Schema: docs/BENCHMARKING.md.
+  std::string RenderBenchJson(const obs::TraceDump& dump,
+                              double wall_seconds) const {
+    // Per-phase totals, aggregated by span name, descending total.
+    struct Phase {
+      const char* name;
+      uint64_t count = 0;
+      uint64_t total_nanos = 0;
+      uint64_t max_nanos = 0;
+    };
+    std::vector<Phase> phases;
+    for (const obs::SpanRecord& span : dump.spans) {
+      Phase* p = nullptr;
+      for (Phase& existing : phases) {
+        if (std::strcmp(existing.name, span.name) == 0) {
+          p = &existing;
+          break;
+        }
+      }
+      if (p == nullptr) {
+        phases.push_back(Phase{span.name});
+        p = &phases.back();
+      }
+      ++p->count;
+      p->total_nanos += span.dur_nanos;
+      p->max_nanos = std::max(p->max_nanos, span.dur_nanos);
+    }
+    std::sort(phases.begin(), phases.end(), [](const Phase& a, const Phase& b) {
+      if (a.total_nanos != b.total_nanos) return a.total_nanos > b.total_nanos;
+      return std::strcmp(a.name, b.name) < 0;
+    });
+
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+
+    std::string out;
+    out += "{\n";
+    out += "\"schema\": \"isum-bench-v1\",\n";
+    out += StrFormat("\"label\": \"%s\",\n", bench_label_.c_str());
+    out += StrFormat("\"bench\": \"%s\",\n", bench_name_.c_str());
+    out += StrFormat("\"git_rev\": \"%s\",\n", ISUM_GIT_REV);
+    out += StrFormat("\"wall_seconds\": %.6f,\n", wall_seconds);
+    out += StrFormat("\"peak_rss_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(PeakRssBytes()));
+    out += "\"phases\": [\n";
+    for (size_t i = 0; i < phases.size(); ++i) {
+      out += StrFormat(
+          "{\"name\": \"%s\", \"count\": %llu, \"total_us\": %.3f, "
+          "\"max_us\": %.3f}%s\n",
+          phases[i].name, static_cast<unsigned long long>(phases[i].count),
+          static_cast<double>(phases[i].total_nanos) / 1e3,
+          static_cast<double>(phases[i].max_nanos) / 1e3,
+          i + 1 < phases.size() ? "," : "");
+    }
+    out += "],\n";
+    out += "\"counters\": [\n";
+    for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+      out += StrFormat(
+          "{\"name\": \"%s\", \"value\": %llu}%s\n",
+          snapshot.counters[i].first.c_str(),
+          static_cast<unsigned long long>(snapshot.counters[i].second),
+          i + 1 < snapshot.counters.size() ? "," : "");
+    }
+    out += "],\n";
+    out += "\"runs\": [\n";
+    const std::vector<BenchRun>& runs = BenchJson::Global().runs();
+    for (size_t i = 0; i < runs.size(); ++i) {
+      std::string line = StrFormat("{\"name\": \"%s\"", runs[i].name.c_str());
+      for (const auto& [key, value] : runs[i].numbers) {
+        line += StrFormat(", \"%s\": %.9g", key.c_str(), value);
+      }
+      for (const auto& [key, value] : runs[i].strings) {
+        line += StrFormat(", \"%s\": \"%s\"", key.c_str(), value.c_str());
+      }
+      line += StrFormat("}%s\n", i + 1 < runs.size() ? "," : "");
+      out += line;
+    }
+    out += "]\n";
+    out += "}\n";
+    return out;
+  }
+
   std::string trace_path_;
   std::string metrics_path_;
+  std::string bench_json_path_;
+  std::string bench_label_ = "run";
+  std::string bench_name_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// The six algorithms of Figure 9/10/12/15: Uniform, Cost, Stratified,

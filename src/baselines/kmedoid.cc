@@ -15,7 +15,9 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
   if (n == 0) return out;
   k = std::min(k, n);
 
-  // ISUM rule-based features as the similarity substrate.
+  // ISUM rule-based features as the similarity substrate. Featurized once
+  // into an immutable CSR snapshot: every distance scan below is a
+  // medoid-major one-vs-many gather instead of per-pair sorted merges.
   core::FeatureSpace space;
   core::Featurizer featurizer(workload.env().catalog, workload.env().stats,
                               &space);
@@ -23,30 +25,42 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
   for (size_t i = 0; i < n; ++i) {
     features[i] = featurizer.Featurize(workload.query(i).bound);
   }
-  auto distance = [&features](size_t a, size_t b) {
-    return 1.0 - core::WeightedJaccard(features[a], features[b]);
+  const core::FeatureMatrix matrix =
+      core::FeatureMatrix::FromVectors(features, space.size());
+  core::DenseScratch scratch;
+  std::vector<double> sim(n, 0.0);
+
+  // Scans medoids in ascending slot order with a strict comparison, so the
+  // lowest medoid slot wins distance ties exactly like the per-pair loop
+  // this replaces did.
+  const auto assign_all = [&](const std::vector<size_t>& medoids,
+                              std::vector<size_t>* assignment) {
+    std::vector<double> best(n, 2.0);
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      matrix.ScatterRow(medoids[m], &scratch);
+      matrix.WeightedJaccardBatch(scratch, 0, n, sim.data());
+      for (size_t i = 0; i < n; ++i) {
+        const double d = 1.0 - sim[i];
+        if (d < best[i]) {
+          best[i] = d;
+          (*assignment)[i] = m;
+        }
+      }
+    }
   };
 
   Rng rng(seed_);
   std::vector<size_t> medoids = rng.SampleWithoutReplacement(n, k);
   std::vector<size_t> assignment(n, 0);
+  std::vector<size_t> members;
 
   for (int iter = 0; iter < max_iterations_; ++iter) {
     // Assign.
-    for (size_t i = 0; i < n; ++i) {
-      double best = 2.0;
-      for (size_t m = 0; m < medoids.size(); ++m) {
-        const double d = distance(i, medoids[m]);
-        if (d < best) {
-          best = d;
-          assignment[i] = m;
-        }
-      }
-    }
+    assign_all(medoids, &assignment);
     // Update: medoid = member minimizing intra-cluster distance sum.
     bool changed = false;
     for (size_t m = 0; m < medoids.size(); ++m) {
-      std::vector<size_t> members;
+      members.clear();
       for (size_t i = 0; i < n; ++i) {
         if (assignment[i] == m) members.push_back(i);
       }
@@ -54,8 +68,13 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
       double best_sum = -1.0;
       size_t best_medoid = medoids[m];
       for (size_t cand : members) {
+        matrix.ScatterRow(cand, &scratch);
         double sum = 0.0;
-        for (size_t other : members) sum += distance(cand, other);
+        for (size_t other : members) {
+          double s = 0.0;
+          matrix.WeightedJaccardBatch(scratch, other, other + 1, &s);
+          sum += 1.0 - s;
+        }
         if (best_sum < 0.0 || sum < best_sum) {
           best_sum = sum;
           best_medoid = cand;
@@ -70,19 +89,10 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
   }
 
   // Final assignment for weights.
+  std::vector<size_t> final_assignment(n, 0);
+  assign_all(medoids, &final_assignment);
   std::vector<double> cluster_size(medoids.size(), 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    double best = 2.0;
-    size_t arg = 0;
-    for (size_t m = 0; m < medoids.size(); ++m) {
-      const double d = distance(i, medoids[m]);
-      if (d < best) {
-        best = d;
-        arg = m;
-      }
-    }
-    cluster_size[arg] += 1.0;
-  }
+  for (size_t i = 0; i < n; ++i) cluster_size[final_assignment[i]] += 1.0;
   for (size_t m = 0; m < medoids.size(); ++m) {
     out.entries.push_back({medoids[m], std::max(1.0, cluster_size[m])});
   }

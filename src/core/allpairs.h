@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/thread_pool.h"
 #include "core/compression_state.h"
 
 namespace isum::core {
@@ -25,9 +26,19 @@ struct SelectionResult {
 /// `budget` is observed once per round: on expiry the queries selected so
 /// far are returned with stop_reason set (every prefix of a greedy run is a
 /// valid compression).
+///
+/// When `pool` is non-null the per-round argmax is sharded across its
+/// workers. Sharding is by fixed-width candidate blocks reduced in block
+/// order with a strict comparison (lowest index wins ties), and each
+/// candidate's influence sum runs entirely inside one block in ascending j
+/// order — so results are bit-identical for every thread count, including
+/// the serial pool-less path. If the budget fires mid-round, the round is
+/// abandoned (never completed from a partial argmax) and the prefix selected
+/// so far is returned.
 SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
                                      UpdateStrategy strategy,
-                                     const TimeBudget& budget = {});
+                                     const TimeBudget& budget = {},
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace isum::core
 

@@ -21,11 +21,14 @@ void CompressionState::SelectAndUpdate(size_t s, UpdateStrategy strategy) {
   selected_[s] = true;
   if (strategy == UpdateStrategy::kNone) return;
   // Snapshot the selected query's features: updates below must all observe
-  // the same q_s.
+  // the same q_s. The dense scatter doubles as the snapshot and makes every
+  // similarity below an O(nnz(q_j)) gather instead of a sorted merge.
   const SparseVector qs = features_[s];
+  update_scratch_.Reserve(space_.size());
+  update_scratch_.Scatter(qs);
   for (size_t j = 0; j < features_.size(); ++j) {
     if (selected_[j]) continue;
-    const double sim = WeightedJaccard(qs, features_[j]);
+    const double sim = WeightedJaccardVsDense(update_scratch_, features_[j]);
     // Utility discount: U(q_j | q_s) = U(q_j) - U(q_j) * S(q_s, q_j).
     utilities_[j] -= utilities_[j] * sim;
     switch (strategy) {

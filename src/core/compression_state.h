@@ -70,6 +70,8 @@ class CompressionState {
   std::vector<double> utilities_;
   std::vector<double> original_utilities_;
   std::vector<bool> selected_;
+  // One-vs-many probe buffer for SelectAndUpdate, reused across rounds.
+  DenseScratch update_scratch_;
 };
 
 }  // namespace isum::core

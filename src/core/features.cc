@@ -75,7 +75,14 @@ double SparseVector::MaxWeight() const {
 }
 
 void SparseVector::AddScaled(const SparseVector& other, double scale) {
-  std::vector<Entry> merged;
+  std::vector<Entry> scratch;
+  AddScaled(other, scale, &scratch);
+}
+
+void SparseVector::AddScaled(const SparseVector& other, double scale,
+                             std::vector<Entry>* scratch) {
+  std::vector<Entry>& merged = *scratch;
+  merged.clear();
   merged.reserve(entries_.size() + other.entries_.size());
   size_t i = 0, j = 0;
   while (i < entries_.size() || j < other.entries_.size()) {
@@ -94,7 +101,7 @@ void SparseVector::AddScaled(const SparseVector& other, double scale) {
       ++j;
     }
   }
-  entries_ = std::move(merged);
+  entries_.swap(merged);
 }
 
 void SparseVector::SubtractScaledClamped(const SparseVector& other,
@@ -150,6 +157,130 @@ double WeightedJaccard(const SparseVector& a, const SparseVector& b) {
     }
   }
   return max_sum > 0.0 ? min_sum / max_sum : 0.0;
+}
+
+void DenseScratch::Reserve(size_t num_features) {
+  if (dense_.size() < num_features) dense_.resize(num_features, 0.0);
+}
+
+void DenseScratch::Scatter(const SparseVector& v) {
+  for (int32_t f : touched_) dense_[f] = 0.0;
+  touched_.clear();
+  sum_ = 0.0;
+  positive_ = 0;
+  for (const SparseVector::Entry& e : v.entries()) {
+    if (static_cast<size_t>(e.feature) >= dense_.size()) {
+      dense_.resize(static_cast<size_t>(e.feature) + 1, 0.0);
+    }
+    dense_[e.feature] = e.weight;
+    touched_.push_back(e.feature);
+    sum_ += e.weight;
+    if (e.weight > 0.0) ++positive_;
+  }
+}
+
+void DenseScratch::Scatter(const int32_t* features, const double* weights,
+                           size_t n) {
+  for (int32_t f : touched_) dense_[f] = 0.0;
+  touched_.clear();
+  sum_ = 0.0;
+  positive_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<size_t>(features[i]) >= dense_.size()) {
+      dense_.resize(static_cast<size_t>(features[i]) + 1, 0.0);
+    }
+    dense_[features[i]] = weights[i];
+    touched_.push_back(features[i]);
+    sum_ += weights[i];
+    if (weights[i] > 0.0) ++positive_;
+  }
+}
+
+double WeightedJaccardVsDense(const DenseScratch& query,
+                              const SparseVector& row) {
+  double min_sum = 0.0, row_sum = 0.0;
+  for (const SparseVector::Entry& e : row.entries()) {
+    row_sum += e.weight;
+    min_sum += std::min(e.weight, query.Get(e.feature));
+  }
+  const double max_sum = query.sum() + row_sum - min_sum;
+  return max_sum > 0.0 ? min_sum / max_sum : 0.0;
+}
+
+double BinaryJaccardVsDense(const DenseScratch& query,
+                            const SparseVector& row) {
+  size_t inter = 0, row_positive = 0;
+  for (const SparseVector::Entry& e : row.entries()) {
+    if (e.weight <= 0.0) continue;
+    ++row_positive;
+    if (query.Get(e.feature) > 0.0) ++inter;
+  }
+  const size_t uni = query.positive_count() + row_positive - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+FeatureMatrix FeatureMatrix::FromVectors(const std::vector<SparseVector>& rows,
+                                         size_t num_features) {
+  FeatureMatrix m;
+  m.num_features_ = num_features;
+  size_t total = 0;
+  for (const SparseVector& v : rows) total += v.nnz();
+  m.offsets_.reserve(rows.size() + 1);
+  m.features_.reserve(total);
+  m.weights_.reserve(total);
+  m.row_sums_.reserve(rows.size());
+  m.row_positive_.reserve(rows.size());
+  m.offsets_.push_back(0);
+  for (const SparseVector& v : rows) {
+    double sum = 0.0;
+    int32_t positive = 0;
+    for (const SparseVector::Entry& e : v.entries()) {
+      m.features_.push_back(e.feature);
+      m.weights_.push_back(e.weight);
+      sum += e.weight;
+      if (e.weight > 0.0) ++positive;
+    }
+    m.offsets_.push_back(m.features_.size());
+    m.row_sums_.push_back(sum);
+    m.row_positive_.push_back(positive);
+  }
+  return m;
+}
+
+void FeatureMatrix::ScatterRow(size_t r, DenseScratch* scratch) const {
+  scratch->Reserve(num_features_);
+  scratch->Scatter(features_.data() + offsets_[r],
+                   weights_.data() + offsets_[r],
+                   offsets_[r + 1] - offsets_[r]);
+}
+
+void FeatureMatrix::WeightedJaccardBatch(const DenseScratch& query,
+                                         size_t begin, size_t end,
+                                         double* out) const {
+  const double q_sum = query.sum();
+  for (size_t r = begin; r < end; ++r) {
+    double min_sum = 0.0;
+    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      min_sum += std::min(weights_[i], query.Get(features_[i]));
+    }
+    const double max_sum = q_sum + row_sums_[r] - min_sum;
+    out[r - begin] = max_sum > 0.0 ? min_sum / max_sum : 0.0;
+  }
+}
+
+void FeatureMatrix::BinaryJaccardBatch(const DenseScratch& query, size_t begin,
+                                       size_t end, double* out) const {
+  const size_t q_positive = query.positive_count();
+  for (size_t r = begin; r < end; ++r) {
+    size_t inter = 0;
+    for (size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      if (weights_[i] > 0.0 && query.Get(features_[i]) > 0.0) ++inter;
+    }
+    const size_t uni =
+        q_positive + static_cast<size_t>(row_positive_[r]) - inter;
+    out[r - begin] =
+        uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+  }
 }
 
 double BinaryJaccard(const SparseVector& a, const SparseVector& b) {

@@ -65,6 +65,13 @@ class SparseVector {
   /// this += other * scale (union of supports).
   void AddScaled(const SparseVector& other, double scale);
 
+  /// Same, but merges into `*scratch` instead of a freshly allocated vector
+  /// and swaps it in, so a caller that AddScales in a loop reuses one
+  /// buffer's capacity across iterations instead of allocating per call.
+  /// `scratch` holds this vector's previous entries afterwards.
+  void AddScaled(const SparseVector& other, double scale,
+                 std::vector<Entry>* scratch);
+
   /// this -= other * scale, clamping weights at 0.
   void SubtractScaledClamped(const SparseVector& other, double scale);
 
@@ -93,6 +100,88 @@ double WeightedJaccard(const SparseVector& a, const SparseVector& b);
 /// Plain (binary) Jaccard over the supports of a and b (zero-weight entries
 /// excluded).
 double BinaryJaccard(const SparseVector& a, const SparseVector& b);
+
+/// A reusable dense scatter buffer over the feature-id range: scatter one
+/// sparse vector, probe any feature at O(1), clear only the touched slots.
+/// This is the probe side of the one-vs-many Jaccard kernels — scattering
+/// the shared operand once turns each pairwise sorted merge into a linear
+/// gather over the other row's nonzeros.
+class DenseScratch {
+ public:
+  /// Ensures slots for feature ids < num_features exist and are zero.
+  /// Growing never shrinks, so one scratch serves a whole selection run.
+  void Reserve(size_t num_features);
+
+  /// Replaces the scattered vector (clearing the previous one) and caches
+  /// its weight sum and positive-support size for the sum-identity kernels.
+  void Scatter(const SparseVector& v);
+
+  /// Low-level variant for CSR rows (see FeatureMatrix).
+  void Scatter(const int32_t* features, const double* weights, size_t n);
+
+  double Get(int feature) const {
+    return static_cast<size_t>(feature) < dense_.size() ? dense_[feature] : 0.0;
+  }
+  /// Sum of the scattered weights (entry order).
+  double sum() const { return sum_; }
+  /// Number of scattered entries with weight > 0.
+  size_t positive_count() const { return positive_; }
+
+ private:
+  std::vector<double> dense_;
+  std::vector<int32_t> touched_;
+  double sum_ = 0.0;
+  size_t positive_ = 0;
+};
+
+/// Weighted Jaccard of the scattered query against one sparse row in
+/// O(nnz(row)) via the sum identity max(a,b) = a + b - min(a,b):
+///   min_sum  = sum_{c in row} min(row_c, q_c)   (gathered in feature order)
+///   max_sum  = sum(q) + sum(row) - min_sum.
+/// min_sum is bit-identical to the sorted-merge WeightedJaccard; max_sum may
+/// differ by a few ulp (different summation order), which every caller
+/// tolerates. Requires non-negative weights, as everywhere in this module.
+double WeightedJaccardVsDense(const DenseScratch& query,
+                              const SparseVector& row);
+
+/// Binary Jaccard counterpart: intersection gathered over the row's positive
+/// entries, union by inclusion-exclusion over the positive-support sizes.
+double BinaryJaccardVsDense(const DenseScratch& query, const SparseVector& row);
+
+/// An immutable CSR snapshot of many feature vectors in SoA layout
+/// (int32 feature ids / double weights), built once so repeated one-vs-many
+/// similarity scans stream two flat arrays instead of chasing n vectors.
+class FeatureMatrix {
+ public:
+  /// Snapshots `rows`; feature ids must be < num_features (FeatureSpace
+  /// size). Explicit zero-weight entries are kept, like SparseVector.
+  static FeatureMatrix FromVectors(const std::vector<SparseVector>& rows,
+                                   size_t num_features);
+
+  size_t rows() const { return row_sums_.size(); }
+  size_t num_features() const { return num_features_; }
+  double RowSum(size_t r) const { return row_sums_[r]; }
+
+  /// Scatters row r into `scratch` (the probe side of a one-vs-many scan).
+  void ScatterRow(size_t r, DenseScratch* scratch) const;
+
+  /// out[i - begin] = WeightedJaccard(query, row i) for i in [begin, end),
+  /// one O(nnz(row)) gather per row. Same numerics as WeightedJaccardVsDense.
+  void WeightedJaccardBatch(const DenseScratch& query, size_t begin, size_t end,
+                            double* out) const;
+
+  /// Binary-Jaccard counterpart of WeightedJaccardBatch.
+  void BinaryJaccardBatch(const DenseScratch& query, size_t begin, size_t end,
+                          double* out) const;
+
+ private:
+  std::vector<size_t> offsets_;      // rows() + 1 entries
+  std::vector<int32_t> features_;    // concatenated row feature ids
+  std::vector<double> weights_;      // parallel to features_
+  std::vector<double> row_sums_;     // per-row weight sum (entry order)
+  std::vector<int32_t> row_positive_;  // per-row positive-support size
+  size_t num_features_ = 0;
+};
 
 }  // namespace isum::core
 

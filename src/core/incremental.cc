@@ -19,16 +19,61 @@ double IncrementalIsum::Benefit(const Candidate& candidate) const {
   const double utility = candidate.delta / total_delta_;
   // V' excludes the candidate's own contribution and renormalizes the
   // remaining utility mass (the incremental analogue of Algorithm 3,
-  // lines 9-12, with Δ-weighted sums scaled into utility units).
-  SparseVector v_prime = summary_;
-  v_prime.SubtractScaledClamped(candidate.original_features, candidate.delta);
+  // lines 9-12, with Δ-weighted sums scaled into utility units). Evaluated
+  // in closed form against the dense summary mirror: V'_c =
+  // scale · clamp(V_c − Δ·of_c) needs only the candidate's own features,
+  // and the Jaccard denominator follows from the sum identity
+  // (see WeightedJaccardVsDense). ZeroWhere keeps zeroed entries, so
+  // candidate.features and candidate.original_features share one support,
+  // walked in lockstep below.
   const double remaining = total_delta_ - candidate.delta;
-  if (remaining > 1e-15) {
-    v_prime.Scale(1.0 / remaining);
-  } else {
-    v_prime.Scale(0.0);
+  const double scale = remaining > 1e-15 ? 1.0 / remaining : 0.0;
+  const auto& current = candidate.features.entries();
+  const auto& original = candidate.original_features.entries();
+  double min_sum = 0.0;
+  double current_sum = 0.0;
+  double covered = 0.0;    // summary mass on the candidate's support
+  double covered_v = 0.0;  // that mass after subtract-clamp and rescale
+  size_t i = 0, j = 0;
+  while (i < current.size() && j < original.size()) {
+    if (current[i].feature < original[j].feature) {
+      current_sum += current[i].weight;
+      min_sum += std::min(current[i].weight, Dense(current[i].feature) * scale);
+      ++i;
+      continue;
+    }
+    if (original[j].feature < current[i].feature) {
+      const double v = Dense(original[j].feature);
+      const double v_prime =
+          std::max(0.0, v + original[j].weight * (-candidate.delta)) * scale;
+      covered += v;
+      covered_v += v_prime;
+      ++j;
+      continue;
+    }
+    const double v = Dense(current[i].feature);
+    const double v_prime =
+        std::max(0.0, v + original[j].weight * (-candidate.delta)) * scale;
+    current_sum += current[i].weight;
+    min_sum += std::min(current[i].weight, v_prime);
+    covered += v;
+    covered_v += v_prime;
+    ++i;
+    ++j;
   }
-  return utility + WeightedJaccard(candidate.features, v_prime);
+  for (; i < current.size(); ++i) {
+    current_sum += current[i].weight;
+    min_sum += std::min(current[i].weight, Dense(current[i].feature) * scale);
+  }
+  for (; j < original.size(); ++j) {
+    const double v = Dense(original[j].feature);
+    covered += v;
+    covered_v += std::max(0.0, v + original[j].weight * (-candidate.delta)) *
+                 scale;
+  }
+  const double v_prime_sum = (summary_total_ - covered) * scale + covered_v;
+  const double max_sum = current_sum + v_prime_sum - min_sum;
+  return utility + (max_sum > 0.0 ? min_sum / max_sum : 0.0);
 }
 
 void IncrementalIsum::Reselect(std::vector<Candidate> pool) {
@@ -88,7 +133,14 @@ void IncrementalIsum::ObserveBatch(size_t begin, size_t end) {
     c.delta = std::max(0.0, EstimatedReduction(q, options_.utility_mode));
     // Global accumulators cover every observed query, selected or not.
     total_delta_ += c.delta;
-    summary_.AddScaled(c.original_features, c.delta);
+    summary_.AddScaled(c.original_features, c.delta, &add_scratch_);
+    for (const SparseVector::Entry& e : c.original_features.entries()) {
+      if (static_cast<size_t>(e.feature) >= summary_dense_.size()) {
+        summary_dense_.resize(static_cast<size_t>(e.feature) + 1, 0.0);
+      }
+      summary_dense_[e.feature] += e.weight * c.delta;
+      summary_total_ += e.weight * c.delta;
+    }
     pool.push_back(std::move(c));
     ++observed_;
   }

@@ -57,6 +57,12 @@ class IncrementalIsum {
   /// Benefit of `candidate` against the global summary (Algorithm 3 form).
   double Benefit(const Candidate& candidate) const;
 
+  /// Summary weight at feature id `f` (0 for never-seen features).
+  double Dense(int f) const {
+    return static_cast<size_t>(f) < summary_dense_.size() ? summary_dense_[f]
+                                                          : 0.0;
+  }
+
   /// Re-selects k from `pool` (greedy, feature-zero updates inside pool).
   void Reselect(std::vector<Candidate> pool);
 
@@ -68,6 +74,13 @@ class IncrementalIsum {
 
   double total_delta_ = 0.0;
   SparseVector summary_;  ///< Σ features(q) · Δ(q) over ALL observed queries
+  /// Dense mirror of summary_ (indexed by feature id) plus its running
+  /// weight sum, so Benefit() is an O(nnz) gather instead of copying and
+  /// rescaling the whole summary per candidate.
+  std::vector<double> summary_dense_;
+  double summary_total_ = 0.0;
+  /// Merge buffer reused by the summary_ updates in ObserveBatch.
+  std::vector<SparseVector::Entry> add_scratch_;
   size_t observed_ = 0;
   std::vector<Candidate> selected_;
 };

@@ -23,6 +23,24 @@ struct CompressMetrics {
   }
 };
 
+SelectionResult RunSelection(CompressionState& state, size_t k,
+                             const IsumOptions& options,
+                             const TimeBudget& budget) {
+  ISUM_TRACE_SPAN("compress/greedy-pick");
+  switch (options.algorithm) {
+    case SelectionAlgorithm::kAllPairs: {
+      if (options.num_threads > 1) {
+        ThreadPool pool(static_cast<size_t>(options.num_threads));
+        return AllPairsGreedySelect(state, k, options.update, budget, &pool);
+      }
+      return AllPairsGreedySelect(state, k, options.update, budget);
+    }
+    case SelectionAlgorithm::kSummaryFeatures:
+      return SummaryGreedySelect(state, k, options.update, budget);
+  }
+  return {};
+}
+
 }  // namespace
 
 SelectionResult Isum::Select(size_t k) const {
@@ -33,14 +51,7 @@ SelectionResult Isum::Select(size_t k) const {
     ISUM_TRACE_SPAN("compress/feature-extraction");
     return MakeState();
   }();
-  ISUM_TRACE_SPAN("compress/greedy-pick");
-  switch (options_.algorithm) {
-    case SelectionAlgorithm::kAllPairs:
-      return AllPairsGreedySelect(state, k, options_.update, budget);
-    case SelectionAlgorithm::kSummaryFeatures:
-      return SummaryGreedySelect(state, k, options_.update, budget);
-  }
-  return {};
+  return RunSelection(state, k, options_, budget);
 }
 
 workload::CompressedWorkload Isum::Compress(size_t k) const {
@@ -49,13 +60,20 @@ workload::CompressedWorkload Isum::Compress(size_t k) const {
   metrics.runs->Add(1);
   metrics.input_queries->Add(workload_->size());
 
-  const SelectionResult selection = Select(k);
+  // One state serves both selection and weighing: weighing needs the
+  // original (pre-update) signals, which the state retains, so the second
+  // featurization pass the old Select+Weigh split paid is gone.
+  const TimeBudget budget = EffectiveBudget(options_.budget);
+  CompressionState state = [this] {
+    ISUM_TRACE_SPAN("compress/feature-extraction");
+    return MakeState();
+  }();
+  const SelectionResult selection = RunSelection(state, k, options_, budget);
   std::vector<double> weights;
   {
     ISUM_TRACE_SPAN("compress/weighing");
-    weights = WeighSelectedQueries(*workload_, selection,
-                                   options_.featurization,
-                                   options_.utility_mode, options_.weighing);
+    weights = WeighSelectedQueries(*workload_, state, selection,
+                                   options_.weighing);
   }
   workload::CompressedWorkload out;
   out.stop_reason = selection.stop_reason;

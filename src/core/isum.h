@@ -27,6 +27,10 @@ struct IsumOptions {
   /// CompressedWorkload::stop_reason set. Unlimited by default; an
   /// unlimited budget falls back to the ambient one (common/deadline.h).
   TimeBudget budget;
+  /// Worker threads for the all-pairs argmax (1 = serial). Results are
+  /// bit-identical for every value (see AllPairsGreedySelect); the
+  /// summary-features algorithm is O(k·n) and stays serial.
+  int num_threads = 1;
 
   /// ISUM-S: stats-based column weights + selectivity-aware utility.
   static IsumOptions StatsVariant() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "advisor/candidate_generation.h"
@@ -63,6 +64,34 @@ double CandidateIndexJaccard(const sql::BoundQuery& a, const sql::BoundQuery& b,
 double IndexableColumnJaccard(const sql::BoundQuery& a,
                               const sql::BoundQuery& b) {
   return SortedJaccard(AllIndexable(a), AllIndexable(b));
+}
+
+PairwiseSimilarityCache::PairwiseSimilarityCache(
+    const std::vector<const sql::BoundQuery*>& queries,
+    const stats::StatsManager& stats) {
+  candidate_keys_.reserve(queries.size());
+  indexable_.reserve(queries.size());
+  std::unordered_map<std::string, int> key_ids;
+  for (const sql::BoundQuery* q : queries) {
+    std::vector<int> ids;
+    for (const std::string& key : CandidateKeys(*q, stats)) {
+      const auto it = key_ids.emplace(key, static_cast<int>(key_ids.size()));
+      ids.push_back(it.first->second);
+    }
+    std::sort(ids.begin(), ids.end());
+    candidate_keys_.push_back(std::move(ids));
+    indexable_.push_back(AllIndexable(*q));
+  }
+}
+
+double PairwiseSimilarityCache::CandidateIndexJaccard(size_t a,
+                                                      size_t b) const {
+  return SortedJaccard(candidate_keys_[a], candidate_keys_[b]);
+}
+
+double PairwiseSimilarityCache::IndexableColumnJaccard(size_t a,
+                                                       size_t b) const {
+  return SortedJaccard(indexable_[a], indexable_[b]);
 }
 
 }  // namespace isum::core

@@ -1,6 +1,8 @@
 #ifndef ISUM_CORE_SIMILARITY_H_
 #define ISUM_CORE_SIMILARITY_H_
 
+#include <vector>
+
 #include "core/features.h"
 #include "sql/bound_query.h"
 #include "stats/stats_manager.h"
@@ -19,6 +21,34 @@ double CandidateIndexJaccard(const sql::BoundQuery& a, const sql::BoundQuery& b,
 /// Plain Jaccard over unweighted indexable-column sets (Figure 7b).
 double IndexableColumnJaccard(const sql::BoundQuery& a,
                               const sql::BoundQuery& b);
+
+/// Memoized pairwise similarity over a fixed set of queries. The free
+/// functions above regenerate candidates / indexable columns for BOTH
+/// queries on EVERY call, so an n² pairwise loop pays n² candidate
+/// generations; this cache runs generation once per query at construction
+/// (interning candidate keys into dense ids) and each pairwise call is then
+/// a linear merge over two small sorted id sets.
+class PairwiseSimilarityCache {
+ public:
+  /// Precomputes candidate-key and indexable-column sets for every query.
+  /// `queries` must outlive nothing — the cache copies what it needs.
+  PairwiseSimilarityCache(const std::vector<const sql::BoundQuery*>& queries,
+                          const stats::StatsManager& stats);
+
+  size_t size() const { return candidate_keys_.size(); }
+
+  /// CandidateIndexJaccard(queries[a], queries[b], stats), memoized.
+  double CandidateIndexJaccard(size_t a, size_t b) const;
+
+  /// IndexableColumnJaccard(queries[a], queries[b]), memoized.
+  double IndexableColumnJaccard(size_t a, size_t b) const;
+
+ private:
+  /// Per-query sorted interned candidate-key ids. Interning maps equal
+  /// canonical key strings to equal ids, which is all Jaccard needs.
+  std::vector<std::vector<int>> candidate_keys_;
+  std::vector<std::vector<catalog::ColumnId>> indexable_;
+};
 
 }  // namespace isum::core
 

@@ -1,8 +1,45 @@
 #include "core/summary.h"
 
+#include <algorithm>
+
 #include "common/fault.h"
 
 namespace isum::core {
+
+namespace {
+
+/// SummaryInfluence against a dense summary in O(nnz(query)) instead of
+/// O(|summary|): expands V' = scale · clamp(V - u·q) through the weighted
+/// Jaccard. min_sum accumulates in feature order with the exact per-feature
+/// expressions of the sparse path, so it is bit-identical to
+/// SummaryInfluence; max_sum uses the sum identity (see
+/// WeightedJaccardVsDense) and may differ by ulps.
+double DenseSummaryInfluence(const SparseVector& query_features,
+                             double query_utility, double total_utility,
+                             const std::vector<double>& summary,
+                             double summary_total) {
+  const double remaining = total_utility - query_utility;
+  const double scale =
+      remaining > 1e-15 ? total_utility / remaining : 1.0;
+  double min_sum = 0.0;
+  double query_sum = 0.0;
+  double covered = 0.0;    // summary mass on the query's support
+  double covered_v = 0.0;  // that mass after subtract-clamp
+  for (const SparseVector::Entry& e : query_features.entries()) {
+    const double v = summary[e.feature];
+    const double v_prime =
+        std::max(0.0, v + e.weight * (-query_utility)) * scale;
+    min_sum += std::min(e.weight, v_prime);
+    query_sum += e.weight;
+    covered += v;
+    covered_v += v_prime;
+  }
+  const double v_prime_sum = (summary_total - covered) * scale + covered_v;
+  const double max_sum = query_sum + v_prime_sum - min_sum;
+  return max_sum > 0.0 ? min_sum / max_sum : 0.0;
+}
+
+}  // namespace
 
 SparseVector ComputeSummaryFeatures(const CompressionState& state) {
   SparseVector v;
@@ -30,6 +67,10 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
                                     UpdateStrategy strategy,
                                     const TimeBudget& budget) {
   SelectionResult result;
+  // Dense summary accumulator, reused across rounds. Accumulating per
+  // feature in ascending query order reproduces the AddScaled chain of
+  // ComputeSummaryFeatures bit-for-bit.
+  std::vector<double> summary(state.feature_space().size(), 0.0);
   while (result.selected.size() < k) {
     // Cooperative stop: budget expiry or an injected fault ends selection
     // with the (valid) prefix chosen so far.
@@ -43,6 +84,9 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
       result.stop_reason = TimeBudget::ReasonFor(fault);
       break;
     }
+    // Per-round (k total), not per-pair: EligibleQueries() returns by value
+    // and the round's O(n) summary rebuild dwarfs one allocation.
+    // NOLINTNEXTLINE(isum-no-perpair-alloc)
     std::vector<size_t> eligible = state.EligibleQueries();
     if (eligible.empty()) {
       state.ResetUnselectedFeatures();
@@ -52,19 +96,28 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
 
     // Regenerate the summary over unselected queries (§6.2: updating V
     // in place for conditional influence is too lossy).
-    const SparseVector summary = ComputeSummaryFeatures(state);
+    std::fill(summary.begin(), summary.end(), 0.0);
+    summary.resize(state.feature_space().size(), 0.0);
     double total_utility = 0.0;
     for (size_t i = 0; i < state.size(); ++i) {
-      if (!state.selected(i)) total_utility += state.utility(i);
+      if (state.selected(i)) continue;
+      total_utility += state.utility(i);
+      const double u = state.utility(i);
+      for (const SparseVector::Entry& e : state.features(i).entries()) {
+        summary[e.feature] += e.weight * u;
+      }
     }
+    double summary_total = 0.0;
+    for (double v : summary) summary_total += v;
 
     double max_benefit = -1.0;
     size_t best = eligible.front();
     for (size_t i : eligible) {
       const double benefit =
-          state.utility(i) + SummaryInfluence(state.features(i),
-                                              state.utility(i), total_utility,
-                                              summary);
+          state.utility(i) + DenseSummaryInfluence(state.features(i),
+                                                   state.utility(i),
+                                                   total_utility, summary,
+                                                   summary_total);
       if (benefit > max_benefit) {
         max_benefit = benefit;
         best = i;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace isum::core {
 
@@ -20,31 +19,15 @@ std::vector<double> Normalized(std::vector<double> weights) {
   return weights;
 }
 
-}  // namespace
-
-std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
-                                         const SelectionResult& selection,
-                                         const FeaturizationOptions& feat_options,
-                                         UtilityMode utility_mode,
-                                         WeighingStrategy strategy) {
+/// Shared body of the two public overloads: takes ownership of the original
+/// (pre-update) per-query signals; `num_features` bounds the feature ids.
+std::vector<double> WeighWithSignals(const workload::Workload& workload,
+                                     const SelectionResult& selection,
+                                     std::vector<SparseVector> features,
+                                     std::vector<double> utilities,
+                                     size_t num_features,
+                                     WeighingStrategy strategy) {
   const size_t k = selection.selected.size();
-  if (k == 0) return {};
-  if (strategy == WeighingStrategy::kNone) return UniformWeights(k);
-  if (strategy == WeighingStrategy::kSelectionBenefit) {
-    return Normalized(selection.selection_benefits);
-  }
-
-  // --- Fresh signals (original features and utilities). ---
-  FeatureSpace space;
-  Featurizer featurizer(workload.env().catalog, workload.env().stats, &space);
-  std::vector<SparseVector> features(workload.size());
-  for (size_t i = 0; i < workload.size(); ++i) {
-    features[i] = featurizer.Featurize(workload.query(i).bound, feat_options);
-  }
-  std::vector<double> utilities = ComputeUtilities(workload, utility_mode);
-
-  std::unordered_set<size_t> selected_set(selection.selected.begin(),
-                                          selection.selected.end());
 
   // Wu: the pool the summary is built from. Starts as W minus the selected
   // queries; the template step below removes whole matching templates.
@@ -74,21 +57,40 @@ std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
   }
 
   // --- Algorithm 5: iterative re-calibration against the Wu summary. ---
+  // The summary lives in a dense accumulator (rebuilt per round, like the
+  // sparse AddScaled chain it replaces and bit-identical to it), and the
+  // update loop probes the chosen query through a dense scatter; both turn
+  // O(k·n) sorted merges into linear gathers.
   std::vector<size_t> remaining = selection.selected;
   std::unordered_map<size_t, double> raw_weight;
+  std::vector<double> summary(num_features, 0.0);
+  DenseScratch chosen_scratch;
+  chosen_scratch.Reserve(num_features);
   while (!remaining.empty()) {
     // Summary over current Wu signals.
-    SparseVector summary;
+    std::fill(summary.begin(), summary.end(), 0.0);
     for (size_t i = 0; i < workload.size(); ++i) {
-      if (in_wu[i]) summary.AddScaled(features[i], utilities[i]);
+      if (!in_wu[i]) continue;
+      const double u = utilities[i];
+      for (const SparseVector::Entry& e : features[i].entries()) {
+        summary[e.feature] += e.weight * u;
+      }
     }
+    double summary_total = 0.0;
+    for (double v : summary) summary_total += v;
 
     double max_benefit = -1.0;
     size_t arg = 0;
     for (size_t r = 0; r < remaining.size(); ++r) {
       const size_t qi = remaining[r];
+      double min_sum = 0.0, query_sum = 0.0;
+      for (const SparseVector::Entry& e : features[qi].entries()) {
+        query_sum += e.weight;
+        min_sum += std::min(e.weight, summary[e.feature]);
+      }
+      const double max_sum = query_sum + summary_total - min_sum;
       const double benefit =
-          utilities[qi] + WeightedJaccard(features[qi], summary);
+          utilities[qi] + (max_sum > 0.0 ? min_sum / max_sum : 0.0);
       if (benefit > max_benefit) {
         max_benefit = benefit;
         arg = r;
@@ -99,9 +101,10 @@ std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
     remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(arg));
 
     // UpdateWorkload(Wu, chosen): feature-zero + utility discount.
+    chosen_scratch.Scatter(features[chosen]);
     for (size_t i = 0; i < workload.size(); ++i) {
       if (!in_wu[i]) continue;
-      const double sim = WeightedJaccard(features[chosen], features[i]);
+      const double sim = WeightedJaccardVsDense(chosen_scratch, features[i]);
       utilities[i] -= utilities[i] * sim;
       features[i].ZeroWhere(features[chosen]);
     }
@@ -112,6 +115,56 @@ std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
     weights[r] = raw_weight[selection.selected[r]];
   }
   return Normalized(std::move(weights));
+}
+
+}  // namespace
+
+std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
+                                         const SelectionResult& selection,
+                                         const FeaturizationOptions& feat_options,
+                                         UtilityMode utility_mode,
+                                         WeighingStrategy strategy) {
+  const size_t k = selection.selected.size();
+  if (k == 0) return {};
+  if (strategy == WeighingStrategy::kNone) return UniformWeights(k);
+  if (strategy == WeighingStrategy::kSelectionBenefit) {
+    return Normalized(selection.selection_benefits);
+  }
+
+  // Fresh signals (original features and utilities).
+  FeatureSpace space;
+  Featurizer featurizer(workload.env().catalog, workload.env().stats, &space);
+  std::vector<SparseVector> features(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    features[i] = featurizer.Featurize(workload.query(i).bound, feat_options);
+  }
+  std::vector<double> utilities = ComputeUtilities(workload, utility_mode);
+  return WeighWithSignals(workload, selection, std::move(features),
+                          std::move(utilities), space.size(), strategy);
+}
+
+std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
+                                         const CompressionState& state,
+                                         const SelectionResult& selection,
+                                         WeighingStrategy strategy) {
+  const size_t k = selection.selected.size();
+  if (k == 0) return {};
+  if (strategy == WeighingStrategy::kNone) return UniformWeights(k);
+  if (strategy == WeighingStrategy::kSelectionBenefit) {
+    return Normalized(selection.selection_benefits);
+  }
+
+  // Original signals already live in the state; copy them (the recalibration
+  // mutates both) instead of re-featurizing the whole workload.
+  std::vector<SparseVector> features(workload.size());
+  std::vector<double> utilities(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    features[i] = state.original_features(i);
+    utilities[i] = state.original_utility(i);
+  }
+  return WeighWithSignals(workload, selection, std::move(features),
+                          std::move(utilities), state.feature_space().size(),
+                          strategy);
 }
 
 }  // namespace isum::core

@@ -32,6 +32,16 @@ std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
                                          UtilityMode utility_mode,
                                          WeighingStrategy strategy);
 
+/// Same, but reuses the original (pre-update) features and utilities already
+/// computed inside `state` instead of re-featurizing the workload — the
+/// signals are identical, so the weights are too. This is the path
+/// Isum::Compress takes; the signature above remains for callers that only
+/// have a SelectionResult.
+std::vector<double> WeighSelectedQueries(const workload::Workload& workload,
+                                         const CompressionState& state,
+                                         const SelectionResult& selection,
+                                         WeighingStrategy strategy);
+
 }  // namespace isum::core
 
 #endif  // ISUM_CORE_WEIGHING_H_

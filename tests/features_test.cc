@@ -173,5 +173,91 @@ TEST_P(JaccardProperties, ScalingBothPreservesSimilarity) {
 INSTANTIATE_TEST_SUITE_P(Seeds, JaccardProperties,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+// --- Batched kernels vs. the SparseVector reference implementations. ---
+
+class BatchKernels : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchKernels, VsDenseMatchesSortedMerge) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    SparseVector q = RandomVector(rng, 24);
+    SparseVector row = RandomVector(rng, 24);
+    DenseScratch scratch;
+    scratch.Scatter(q);
+    EXPECT_NEAR(WeightedJaccardVsDense(scratch, row), WeightedJaccard(q, row),
+                1e-12);
+    EXPECT_NEAR(BinaryJaccardVsDense(scratch, row), BinaryJaccard(q, row),
+                1e-12);
+    // Self-similarity must stay exactly 1 through the dense path.
+    scratch.Scatter(row);
+    EXPECT_DOUBLE_EQ(WeightedJaccardVsDense(scratch, row), 1.0);
+  }
+}
+
+TEST_P(BatchKernels, FeatureMatrixMatchesPairwiseLoops) {
+  Rng rng(GetParam() ^ 0xFACE);
+  constexpr int kMaxFeature = 24;
+  std::vector<SparseVector> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back(RandomVector(rng, kMaxFeature));
+  const FeatureMatrix matrix =
+      FeatureMatrix::FromVectors(rows, kMaxFeature * 2);
+  ASSERT_EQ(matrix.rows(), rows.size());
+
+  DenseScratch scratch;
+  std::vector<double> weighted(rows.size()), binary(rows.size());
+  for (size_t q = 0; q < rows.size(); ++q) {
+    matrix.ScatterRow(q, &scratch);
+    EXPECT_NEAR(scratch.sum(), rows[q].Sum(), 1e-12);
+    matrix.WeightedJaccardBatch(scratch, 0, rows.size(), weighted.data());
+    matrix.BinaryJaccardBatch(scratch, 0, rows.size(), binary.data());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_NEAR(weighted[r], WeightedJaccard(rows[q], rows[r]), 1e-12)
+          << "q=" << q << " r=" << r;
+      EXPECT_NEAR(binary[r], BinaryJaccard(rows[q], rows[r]), 1e-12)
+          << "q=" << q << " r=" << r;
+    }
+    EXPECT_DOUBLE_EQ(weighted[q], 1.0);
+  }
+}
+
+TEST_P(BatchKernels, KernelsIgnoreExplicitZeroEntries) {
+  Rng rng(GetParam() ^ 0xD00D);
+  for (int trial = 0; trial < 20; ++trial) {
+    SparseVector q = RandomVector(rng, 16);
+    SparseVector row = RandomVector(rng, 16);
+    const double expected_w = WeightedJaccard(q, row);
+    const double expected_b = BinaryJaccard(q, row);
+    // ZeroWhere against an empty-support mask keeps weights; Set() the
+    // other way: inject explicit zeros into the row.
+    SparseVector padded = row;
+    padded.AddScaled(q, 0.0);  // adds q's support with weight 0
+    DenseScratch scratch;
+    scratch.Scatter(q);
+    EXPECT_NEAR(WeightedJaccardVsDense(scratch, padded), expected_w, 1e-12);
+    EXPECT_NEAR(BinaryJaccardVsDense(scratch, padded), expected_b, 1e-12);
+  }
+}
+
+TEST(AddScaledScratch, MatchesAllocatingOverload) {
+  Rng rng(99);
+  SparseVector a = RandomVector(rng, 20);
+  SparseVector b = a;
+  std::vector<SparseVector::Entry> scratch;
+  for (int i = 0; i < 10; ++i) {
+    const SparseVector v = RandomVector(rng, 20);
+    const double scale = rng.NextDouble(0.1, 2.0);
+    a.AddScaled(v, scale);
+    b.AddScaled(v, scale, &scratch);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (size_t e = 0; e < a.nnz(); ++e) {
+      EXPECT_EQ(a.entries()[e].feature, b.entries()[e].feature);
+      EXPECT_EQ(a.entries()[e].weight, b.entries()[e].weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchKernels,
+                         ::testing::Values(7u, 8u, 9u, 10u, 11u));
+
 }  // namespace
 }  // namespace isum::core

@@ -319,15 +319,81 @@ TEST(LintOutput, ViolationFormatsAsFileLineCol) {
                               "use ISUM_CHECK or return a Status");
 }
 
-TEST(LintRules, KnownRulesListsAllSevenRules) {
+TEST(LintRules, KnownRulesListsAllEightRules) {
   const auto rules = KnownRules();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 8u);
   for (const char* r :
        {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
         "isum-include-guard", "isum-missing-override",
-        "isum-unchecked-status", "isum-no-raw-clock"}) {
+        "isum-unchecked-status", "isum-no-raw-clock",
+        "isum-no-perpair-alloc"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
+}
+
+TEST(LintPerPairAlloc, FlagsVectorInsideHotPathLoop) {
+  const auto vs = Lint("src/core/summary.cc",
+                       "void F(size_t n) {\n"
+                       "  for (size_t i = 0; i < n; ++i) {\n"
+                       "    std::vector<double> sims(n);\n"
+                       "  }\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-no-perpair-alloc");
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+TEST(LintPerPairAlloc, AllowsVectorOutsideLoopsAndOutsideHotPath) {
+  // Hoisted before the loop: fine.
+  EXPECT_TRUE(Lint("src/core/summary.cc",
+                   "void F(size_t n) {\n"
+                   "  std::vector<double> sims(n);\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    sims[i] = 0.0;\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+  // Same pattern in a non-hot-path file: not this rule's business.
+  EXPECT_TRUE(Lint("src/eval/metrics.cc",
+                   "void F(size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    std::vector<double> sims(n);\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintPerPairAlloc, TracksWhileLoopsAndWrappedHeaders) {
+  const auto vs = Lint("src/core/incremental.cc",
+                       "void F(size_t n) {\n"
+                       "  while (n > 0)\n"
+                       "  {\n"
+                       "    std::vector<int> ids;\n"
+                       "  }\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 4);
+  // Unbraced single-statement loop body, then an unrelated block: the block
+  // must not be mistaken for the loop body.
+  EXPECT_TRUE(Lint("src/core/incremental.cc",
+                   "void F(size_t n) {\n"
+                   "  for (size_t i = 0; i < n; ++i) Touch(i);\n"
+                   "  {\n"
+                   "    std::vector<int> ids;\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintPerPairAlloc, HonorsNolint) {
+  EXPECT_TRUE(
+      Lint("src/baselines/kmedoid.cc",
+           "void F(size_t n) {\n"
+           "  for (size_t i = 0; i < n; ++i) {\n"
+           "    std::vector<int> ids;  // NOLINT(isum-no-perpair-alloc)\n"
+           "  }\n"
+           "}\n")
+          .empty());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,117 @@ TEST(TracecatReport, RendersRobustnessCountersWhenPresent) {
   EXPECT_NE(report.find("faults injected:   12"), std::string::npos);
   EXPECT_NE(report.find("retry attempts:    34"), std::string::npos);
   EXPECT_NE(report.find("deadline exceeded: 5"), std::string::npos);
+}
+
+/// A hand-written isum-bench-v1 record matching bench_util.h's emitter
+/// layout exactly (one key per line, sections as line-disciplined arrays).
+std::string SampleBenchRecord(const std::string& label, double wall,
+                              double greedy_us, double feat_us) {
+  std::string out;
+  out += "{\n";
+  out += "\"schema\": \"isum-bench-v1\",\n";
+  out += "\"label\": \"" + label + "\",\n";
+  out += "\"bench\": \"bench_fig2_scalability\",\n";
+  out += "\"git_rev\": \"abc1234\",\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"wall_seconds\": %.6f,\n", wall);
+  out += buf;
+  out += "\"peak_rss_bytes\": 1048576,\n";
+  out += "\"phases\": [\n";
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"compress/greedy-pick\", \"count\": 4, "
+                "\"total_us\": %.3f, \"max_us\": %.3f},\n",
+                greedy_us, greedy_us / 2);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"compress/feature-extraction\", \"count\": 4, "
+                "\"total_us\": %.3f, \"max_us\": %.3f}\n",
+                feat_us, feat_us / 2);
+  out += buf;
+  out += "],\n";
+  out += "\"counters\": [\n";
+  out += "{\"name\": \"whatif.optimizer_calls\", \"value\": 42}\n";
+  out += "],\n";
+  out += "\"runs\": [\n";
+  out += "{\"name\": \"compress/n=1000\", \"seconds\": 1.25, "
+         "\"selection_hash\": \"deadbeef\"}\n";
+  out += "]\n";
+  out += "}\n";
+  return out;
+}
+
+TEST(TracecatBench, ParsesSingleRecord) {
+  const auto parsed =
+      ParseBenchJson(SampleBenchRecord("pre", 4.5, 9000.0, 1200.0));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const BenchRecord& r = parsed.value()[0];
+  EXPECT_EQ(r.label, "pre");
+  EXPECT_EQ(r.bench, "bench_fig2_scalability");
+  EXPECT_EQ(r.git_rev, "abc1234");
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 4.5);
+  EXPECT_EQ(r.peak_rss_bytes, 1048576u);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].name, "compress/greedy-pick");
+  EXPECT_EQ(r.phases[0].count, 4u);
+  EXPECT_DOUBLE_EQ(r.phases[0].total_us, 9000.0);
+  ASSERT_EQ(r.counters.size(), 1u);
+  EXPECT_EQ(r.counters[0].first, "whatif.optimizer_calls");
+  EXPECT_DOUBLE_EQ(r.counters[0].second, 42.0);
+  ASSERT_EQ(r.run_names.size(), 1u);
+  EXPECT_EQ(r.run_names[0], "compress/n=1000");
+}
+
+TEST(TracecatBench, ParsesTrajectoryArray) {
+  const std::string trajectory =
+      "[\n" + SampleBenchRecord("pre", 4.5, 9000.0, 1200.0) + ",\n" +
+      SampleBenchRecord("post", 0.9, 800.0, 1200.0) + "]\n";
+  const auto parsed = ParseBenchJson(trajectory);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].label, "pre");
+  EXPECT_EQ(parsed.value()[1].label, "post");
+}
+
+TEST(TracecatBench, RejectsSchemaInvalidInput) {
+  // Wrong schema tag.
+  std::string wrong_tag = SampleBenchRecord("x", 1.0, 1.0, 1.0);
+  wrong_tag.replace(wrong_tag.find("isum-bench-v1"), 13, "isum-bench-v9");
+  EXPECT_FALSE(ParseBenchJson(wrong_tag).ok());
+  // Missing schema line entirely.
+  std::string no_tag = SampleBenchRecord("x", 1.0, 1.0, 1.0);
+  const size_t tag_line = no_tag.find("\"schema\"");
+  no_tag.erase(tag_line, no_tag.find('\n', tag_line) - tag_line + 1);
+  EXPECT_FALSE(ParseBenchJson(no_tag).ok());
+  // Unterminated record and non-record garbage.
+  EXPECT_FALSE(ParseBenchJson("{\n\"schema\": \"isum-bench-v1\",\n").ok());
+  EXPECT_FALSE(ParseBenchJson("not a bench file\n").ok());
+  EXPECT_FALSE(ParseBenchJson("[\n]\n").ok());
+}
+
+TEST(TracecatBench, DeltaReportsPerPhaseAndWallChanges) {
+  const auto from = ParseBenchJson(SampleBenchRecord("pre", 4.0, 9000.0, 1200.0));
+  const auto to = ParseBenchJson(SampleBenchRecord("post", 1.0, 900.0, 1200.0));
+  ASSERT_TRUE(from.ok() && to.ok());
+  const std::string delta = BenchDelta(from.value()[0], to.value()[0]);
+  EXPECT_NE(delta.find("pre (abc1234) -> post (abc1234)"), std::string::npos);
+  EXPECT_NE(delta.find("compress/greedy-pick"), std::string::npos);
+  EXPECT_NE(delta.find("-90.0%"), std::string::npos);
+  EXPECT_NE(delta.find("+0.0%"), std::string::npos);
+  EXPECT_NE(delta.find("wall: 4.00s -> 1.00s (-75.0%)"), std::string::npos);
+}
+
+TEST(TracecatBench, DeltaMarksPhasesMissingOnOneSide) {
+  auto from = ParseBenchJson(SampleBenchRecord("pre", 4.0, 9000.0, 1200.0));
+  auto to = ParseBenchJson(SampleBenchRecord("post", 1.0, 900.0, 1200.0));
+  ASSERT_TRUE(from.ok() && to.ok());
+  BenchRecord a = from.value()[0];
+  BenchRecord b = to.value()[0];
+  a.phases.push_back(PhaseStat{"compress/gone", 1, 50.0, 50.0});
+  b.phases.push_back(PhaseStat{"compress/new", 1, 75.0, 75.0});
+  const std::string delta = BenchDelta(a, b);
+  EXPECT_NE(delta.find("compress/gone"), std::string::npos);
+  EXPECT_NE(delta.find("compress/new"), std::string::npos);
 }
 
 TEST(TracecatReport, OmitsRobustnessSectionOnCleanRuns) {

@@ -17,6 +17,17 @@ constexpr const char kIncludeGuard[] = "isum-include-guard";
 constexpr const char kMissingOverride[] = "isum-missing-override";
 constexpr const char kUncheckedStatus[] = "isum-unchecked-status";
 constexpr const char kNoRawClock[] = "isum-no-raw-clock";
+constexpr const char kNoPerPairAlloc[] = "isum-no-perpair-alloc";
+
+/// Files on the similarity/selection hot path, where a per-iteration
+/// std::vector costs a malloc per pair (the regression class the scratch
+/// overloads in core/features.h exist to prevent; docs/BENCHMARKING.md).
+constexpr const char* kHotPathFiles[] = {
+    "src/core/features.cc",      "src/core/summary.cc",
+    "src/core/compression_state.cc", "src/core/benefit.cc",
+    "src/core/weighing.cc",      "src/core/incremental.cc",
+    "src/baselines/kmedoid.cc",
+};
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -178,7 +189,7 @@ std::string Violation::ToString() const {
 std::vector<std::string> KnownRules() {
   return {kNoAssert,         kNoStdio,         kNoNondeterminism,
           kIncludeGuard,     kMissingOverride, kUncheckedStatus,
-          kNoRawClock};
+          kNoRawClock,       kNoPerPairAlloc};
 }
 
 std::string StripCommentsAndLiterals(const std::string& line,
@@ -296,6 +307,10 @@ void LintFile(const std::string& path, const std::string& content,
   const bool is_clock_home = path.find("src/common/") != std::string::npos ||
                              path.find("src/obs/") != std::string::npos;
   const bool is_src = path.find("src/") != std::string::npos;
+  bool is_hot_path = false;
+  for (const char* hot : kHotPathFiles) {
+    if (path.find(hot) != std::string::npos) is_hot_path = true;
+  }
 
   auto add = [&](int line, size_t col, const char* rule, std::string msg) {
     out->push_back(Violation{path, line, static_cast<int>(col) + 1, rule,
@@ -320,6 +335,13 @@ void LintFile(const std::string& path, const std::string& content,
   int virtual_line = 0;
   size_t virtual_col = 0;
   bool virtual_suppressed = false;
+  // Loop-body tracking for isum-no-perpair-alloc: brace depths at which a
+  // for/while body opened, plus the in-flight header (its parens may close
+  // on a later line, and an unbraced single-statement body ends at ';').
+  std::vector<int> loop_stack;
+  bool loop_header_active = false;
+  int loop_paren_depth = 0;
+  bool loop_parens_closed = false;
 
   while (std::getline(in, raw)) {
     ++line_no;
@@ -445,6 +467,20 @@ void LintFile(const std::string& path, const std::string& content,
       }
     }
 
+    // --- isum-no-perpair-alloc: hot-path files must not construct a
+    //     std::vector per loop iteration (a malloc per pair on the
+    //     similarity path); loop_stack reflects state up to the previous
+    //     line, so loop headers themselves are not flagged ---
+    if (active(kNoPerPairAlloc) && is_hot_path && !loop_stack.empty()) {
+      const size_t p = code.find("std::vector<");
+      if (p != std::string::npos) {
+        add(line_no, p, kNoPerPairAlloc,
+            "std::vector constructed inside a hot-path loop body costs a "
+            "malloc per iteration; hoist it out and reuse it (clear(), or "
+            "the scratch overloads in core/features.h)");
+      }
+    }
+
     // --- isum-unchecked-status: (void)-laundered Status-returning calls ---
     if (active(kUncheckedStatus)) {
       size_t v = code.find("(void)");
@@ -508,10 +544,37 @@ void LintFile(const std::string& path, const std::string& content,
         ctx.open_depth = brace_depth;
         class_stack.push_back(ctx);
       }
-      for (char c : code) {
+      size_t next_loop_tok =
+          std::min(FindToken(code, "for"), FindToken(code, "while"));
+      for (size_t ci = 0; ci < code.size(); ++ci) {
+        if (!loop_header_active && ci == next_loop_tok) {
+          loop_header_active = true;
+          loop_paren_depth = 0;
+          loop_parens_closed = false;
+          next_loop_tok = std::min(FindToken(code, "for", ci + 1),
+                                   FindToken(code, "while", ci + 1));
+        }
+        const char c = code[ci];
+        if (loop_header_active) {
+          if (!loop_parens_closed) {
+            if (c == '(') ++loop_paren_depth;
+            if (c == ')' && loop_paren_depth > 0 &&
+                --loop_paren_depth == 0) {
+              loop_parens_closed = true;
+            }
+          } else if (c == '{') {
+            loop_stack.push_back(brace_depth);
+            loop_header_active = false;
+          } else if (c == ';') {
+            loop_header_active = false;  // unbraced single-statement body
+          }
+        }
         if (c == '{') ++brace_depth;
         if (c == '}') {
           --brace_depth;
+          if (!loop_stack.empty() && brace_depth == loop_stack.back()) {
+            loop_stack.pop_back();
+          }
           if (!class_stack.empty() &&
               brace_depth == class_stack.back().open_depth) {
             class_stack.pop_back();

@@ -3,6 +3,12 @@
 // hit-rate table. Usage:
 //
 //   tracecat <trace.json> [--metrics=<metrics.jsonl>] [--top=N]
+//   tracecat bench <bench.json> [<bench2.json>] [--check]
+//
+// The bench subcommand parses isum-bench-v1 files (--bench-json= output).
+// With two files (or one trajectory file holding several records) it prints
+// the per-phase delta between the first and last record. --check only
+// validates the schema, for CI smoke jobs.
 //
 // Exits non-zero on unreadable or malformed input.
 
@@ -26,9 +32,67 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// `tracecat bench ...`: parse one or two isum-bench-v1 files; validate
+/// (--check) or print the first-to-last per-phase delta.
+int BenchMain(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool check_only = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check_only = true;
+    } else if (arg[0] != '-' && paths.size() < 2) {
+      paths.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracecat bench <bench.json> [<bench2.json>] "
+                 "[--check]\n");
+    return 2;
+  }
+
+  std::vector<isum::tracecat::BenchRecord> records;
+  for (const std::string& path : paths) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    auto parsed = isum::tracecat::ParseBenchJson(content);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    for (auto& record : parsed.value()) records.push_back(std::move(record));
+  }
+
+  if (check_only) {
+    std::printf("ok: %zu bench record(s)\n", records.size());
+    return 0;
+  }
+  if (records.size() < 2) {
+    const auto& r = records.front();
+    std::printf("%s (%s): wall %.2fs, %zu phase(s)\n", r.label.c_str(),
+                r.git_rev.c_str(), r.wall_seconds, r.phases.size());
+    return 0;
+  }
+  const std::string delta =
+      isum::tracecat::BenchDelta(records.front(), records.back());
+  std::fputs(delta.c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "bench") == 0) {
+    return BenchMain(argc, argv);
+  }
   std::string trace_path;
   std::string metrics_path;
   size_t top_k = 10;

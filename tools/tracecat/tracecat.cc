@@ -245,4 +245,203 @@ std::string Report(const std::vector<TraceEvent>& events,
   return out;
 }
 
+namespace {
+
+/// Does a cleaned bench line carry this scalar key? The emitter writes one
+/// key per line, so a prefix check is unambiguous.
+bool LineHasKey(const std::string& line, const char* key) {
+  const std::string prefix = std::string("\"") + key + "\":";
+  return line.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+StatusOr<std::vector<BenchRecord>> ParseBenchJson(const std::string& content) {
+  // Line state machine matching bench_util.h's RenderBenchJson layout: a
+  // record is `{`, one scalar per line, then the phases/counters/runs
+  // sections, then `}`. A trajectory file wraps records in a JSON array.
+  enum class Section { kTopLevel, kScalars, kPhases, kCounters, kRuns };
+  Section section = Section::kTopLevel;
+
+  std::vector<BenchRecord> records;
+  BenchRecord record;
+  bool saw_schema = false;
+  bool saw_wall = false;
+  bool saw_rss = false;
+
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    switch (section) {
+      case Section::kTopLevel:
+        if (line == "[" || line == "]") break;  // trajectory array brackets
+        if (line == "{") {
+          record = BenchRecord();
+          saw_schema = saw_wall = saw_rss = false;
+          section = Section::kScalars;
+          break;
+        }
+        return Status::ParseError("unexpected bench line: " + line);
+      case Section::kScalars: {
+        if (line == "}") {
+          if (!saw_schema) {
+            return Status::ParseError("bench record without schema tag");
+          }
+          if (!saw_wall || !saw_rss) {
+            return Status::ParseError(
+                "bench record missing wall_seconds/peak_rss_bytes");
+          }
+          records.push_back(std::move(record));
+          section = Section::kTopLevel;
+          break;
+        }
+        if (line == "\"phases\": [") {
+          section = Section::kPhases;
+          break;
+        }
+        if (line == "\"counters\": [") {
+          section = Section::kCounters;
+          break;
+        }
+        if (line == "\"runs\": [") {
+          section = Section::kRuns;
+          break;
+        }
+        if (LineHasKey(line, "schema")) {
+          auto schema = JsonExtractString(line, "schema");
+          if (!schema.ok()) return schema.status();
+          if (schema.value() != "isum-bench-v1") {
+            return Status::ParseError("unsupported bench schema: " +
+                                      schema.value());
+          }
+          saw_schema = true;
+        } else if (LineHasKey(line, "label")) {
+          auto v = JsonExtractString(line, "label");
+          if (!v.ok()) return v.status();
+          record.label = v.value();
+        } else if (LineHasKey(line, "bench")) {
+          auto v = JsonExtractString(line, "bench");
+          if (!v.ok()) return v.status();
+          record.bench = v.value();
+        } else if (LineHasKey(line, "git_rev")) {
+          auto v = JsonExtractString(line, "git_rev");
+          if (!v.ok()) return v.status();
+          record.git_rev = v.value();
+        } else if (LineHasKey(line, "wall_seconds")) {
+          auto v = JsonExtractNumber(line, "wall_seconds");
+          if (!v.ok()) return v.status();
+          record.wall_seconds = v.value();
+          saw_wall = true;
+        } else if (LineHasKey(line, "peak_rss_bytes")) {
+          auto v = JsonExtractNumber(line, "peak_rss_bytes");
+          if (!v.ok()) return v.status();
+          record.peak_rss_bytes = static_cast<uint64_t>(v.value());
+          saw_rss = true;
+        } else {
+          return Status::ParseError("unknown bench scalar line: " + line);
+        }
+        break;
+      }
+      case Section::kPhases: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        PhaseStat phase;
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        phase.name = name.value();
+        auto count = JsonExtractNumber(line, "count");
+        if (!count.ok()) return count.status();
+        phase.count = static_cast<uint64_t>(count.value());
+        auto total = JsonExtractNumber(line, "total_us");
+        if (!total.ok()) return total.status();
+        phase.total_us = total.value();
+        auto max = JsonExtractNumber(line, "max_us");
+        if (!max.ok()) return max.status();
+        phase.max_us = max.value();
+        record.phases.push_back(std::move(phase));
+        break;
+      }
+      case Section::kCounters: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        auto value = JsonExtractNumber(line, "value");
+        if (!value.ok()) return value.status();
+        record.counters.emplace_back(name.value(), value.value());
+        break;
+      }
+      case Section::kRuns: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        record.run_names.push_back(name.value());
+        break;
+      }
+    }
+  }
+  if (section != Section::kTopLevel) {
+    return Status::ParseError("unterminated bench record");
+  }
+  if (records.empty()) {
+    return Status::ParseError("no bench records found");
+  }
+  return records;
+}
+
+std::string BenchDelta(const BenchRecord& from, const BenchRecord& to) {
+  std::string out;
+  out += StrFormat("== bench delta: %s (%s) -> %s (%s) ==\n",
+                   from.label.c_str(), from.git_rev.c_str(), to.label.c_str(),
+                   to.git_rev.c_str());
+  out += StrFormat("%-32s %12s %12s %10s\n", "phase", "from", "to", "delta");
+
+  // Union of phase names, `from`'s order first so the dominant phases of the
+  // baseline lead the table; phases new in `to` follow in `to`'s order.
+  auto find = [](const std::vector<PhaseStat>& phases,
+                 const std::string& name) -> const PhaseStat* {
+    for (const PhaseStat& p : phases) {
+      if (p.name == name) return &p;
+    }
+    return nullptr;
+  };
+  auto row = [&](const std::string& name, const PhaseStat* a,
+                 const PhaseStat* b) {
+    std::string delta = "-";
+    if (a != nullptr && b != nullptr && a->total_us > 0.0) {
+      delta = StrFormat("%+.1f%%",
+                        100.0 * (b->total_us - a->total_us) / a->total_us);
+    }
+    out += StrFormat("%-32s %12s %12s %10s\n", name.c_str(),
+                     a != nullptr ? HumanUs(a->total_us).c_str() : "-",
+                     b != nullptr ? HumanUs(b->total_us).c_str() : "-",
+                     delta.c_str());
+  };
+  for (const PhaseStat& p : from.phases) {
+    row(p.name, &p, find(to.phases, p.name));
+  }
+  for (const PhaseStat& p : to.phases) {
+    if (find(from.phases, p.name) == nullptr) row(p.name, nullptr, &p);
+  }
+
+  std::string wall_delta;
+  if (from.wall_seconds > 0.0) {
+    wall_delta = StrFormat(
+        " (%+.1f%%)",
+        100.0 * (to.wall_seconds - from.wall_seconds) / from.wall_seconds);
+  }
+  out += StrFormat("wall: %.2fs -> %.2fs%s\n", from.wall_seconds,
+                   to.wall_seconds, wall_delta.c_str());
+  return out;
+}
+
 }  // namespace isum::tracecat

@@ -63,6 +63,30 @@ StatusOr<std::vector<MetricLine>> ParseMetricsJsonl(
 std::string Report(const std::vector<TraceEvent>& events,
                    const std::vector<MetricLine>& metrics, size_t top_k);
 
+/// One parsed --bench-json= record (the isum-bench-v1 layout written by
+/// bench/bench_util.h; schema documented in docs/BENCHMARKING.md).
+struct BenchRecord {
+  std::string label;
+  std::string bench;
+  std::string git_rev;
+  double wall_seconds = 0.0;
+  uint64_t peak_rss_bytes = 0;
+  std::vector<PhaseStat> phases;  ///< per-phase totals, descending total_us
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::string> run_names;
+};
+
+/// Parses isum-bench-v1 content: either a single record as the emitter
+/// writes it, or a trajectory file (a JSON array concatenating such records,
+/// e.g. BENCH_scalability.json). Errors on anything schema-invalid: wrong or
+/// missing schema tag, missing required scalars, unterminated records.
+StatusOr<std::vector<BenchRecord>> ParseBenchJson(const std::string& content);
+
+/// One line per phase (union of both records, `from`'s order first):
+/// total time in `from` vs `to` with the relative change, then a wall-clock
+/// summary line. This is the per-phase diff between two recorded baselines.
+std::string BenchDelta(const BenchRecord& from, const BenchRecord& to);
+
 }  // namespace isum::tracecat
 
 #endif  // ISUM_TOOLS_TRACECAT_TRACECAT_H_
