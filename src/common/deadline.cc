@@ -1,10 +1,11 @@
 #include "common/deadline.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace isum {
@@ -14,8 +15,8 @@ namespace {
 std::atomic<MonotonicClockFn> g_clock_override{nullptr};
 std::atomic<SleepFn> g_sleep_override{nullptr};
 
-std::mutex g_ambient_mu;
-TimeBudget g_ambient_budget;  // guarded by g_ambient_mu
+Mutex g_ambient_mu;
+TimeBudget g_ambient_budget ISUM_GUARDED_BY(g_ambient_mu);
 
 obs::Counter* DeadlineExceededCounter() {
   static obs::Counter* const counter =
@@ -128,12 +129,12 @@ StopReason TimeBudget::ReasonFor(const Status& status) {
 }
 
 void InstallAmbientBudget(const TimeBudget& budget) {
-  std::lock_guard<std::mutex> lock(g_ambient_mu);
+  MutexLock lock(g_ambient_mu);
   g_ambient_budget = budget;
 }
 
 TimeBudget AmbientBudget() {
-  std::lock_guard<std::mutex> lock(g_ambient_mu);
+  MutexLock lock(g_ambient_mu);
   return g_ambient_budget;
 }
 

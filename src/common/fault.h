@@ -42,7 +42,14 @@ namespace isum {
 ///
 /// Thread-safety: Inject() may run concurrently from any thread. Configure()
 /// swaps the configuration atomically (shared_ptr), so it is safe — though
-/// pointless — to reconfigure while sites are firing.
+/// pointless — to reconfigure while sites are firing. The injector is
+/// deliberately lock-free (every member below is an atomic or reached
+/// through the atomic `config_` snapshot), so there is no mutex for
+/// ISUM_GUARDED_BY to name: the armed_ gate and per-rule invocation
+/// counters are relaxed atomics, and a loaded Config is immutable except
+/// for those counters. Keep it that way — ISUM_FAULT_POINT sits on the
+/// what-if hot path, inside code the `isum-lock-scope` lint rule forbids
+/// from running under a lock.
 class FaultInjector {
  public:
   enum class Kind { kError, kLatency };

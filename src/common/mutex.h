@@ -1,0 +1,99 @@
+#ifndef ISUM_COMMON_MUTEX_H_
+#define ISUM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace isum {
+
+/// Annotated synchronization shims over the standard library.
+///
+/// `std::mutex` carries no thread-safety attributes, so clang's
+/// `-Wthread-safety` analysis cannot see which data it protects. Library
+/// code therefore uses these wrappers instead (enforced by the isum_lint
+/// rule `isum-guarded-by`):
+///
+///   class Registry {
+///    private:
+///     mutable Mutex mu_;
+///     std::map<std::string, int> entries_ ISUM_GUARDED_BY(mu_);
+///   };
+///
+///   void Registry::Add(...) {
+///     MutexLock lock(mu_);
+///     entries_[...] = ...;  // analyzer proves mu_ is held
+///   }
+///
+/// The wrappers are zero-overhead: every method is an inline forward to the
+/// underlying std primitive. See docs/ANALYSIS.md for the annotation policy
+/// and thread_annotations.h for the attribute macros.
+
+/// Annotated std::mutex. Also satisfies the standard Lockable requirements
+/// (lowercase lock()/unlock()/try_lock()) so it composes with
+/// std::condition_variable_any and std::unique_lock where needed.
+class ISUM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ISUM_ACQUIRE() { mu_.lock(); }
+  void Unlock() ISUM_RELEASE() { mu_.unlock(); }
+  bool TryLock() ISUM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Standard Lockable spellings (CondVar waits through these; the analysis
+  /// attributes are identical to the capitalized forms).
+  void lock() ISUM_ACQUIRE() { mu_.lock(); }
+  void unlock() ISUM_RELEASE() { mu_.unlock(); }
+  bool try_lock() ISUM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over an isum::Mutex — the annotated replacement for
+/// `std::lock_guard<std::mutex>`. The analyzer treats the guarded mutex as
+/// held for exactly this object's lifetime.
+class ISUM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ISUM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ISUM_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with isum::Mutex. Wait() requires the mutex to
+/// be held and holds it again on return, which is exactly what the analysis
+/// can express — so waits stay fully annotated, unlike the
+/// std::condition_variable + std::unique_lock pairing. Use the untimed
+/// Wait() in a caller-side predicate loop so the guarded reads stay inside
+/// the annotated scope:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);  // ready_ ISUM_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex& mu) ISUM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace isum
+
+#endif  // ISUM_COMMON_MUTEX_H_

@@ -1,0 +1,74 @@
+#ifndef ISUM_COMMON_THREAD_ANNOTATIONS_H_
+#define ISUM_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes, wrapped so annotated code still
+/// compiles under GCC (where the attributes expand to nothing). Building
+/// with clang and -DISUM_THREAD_SAFETY=ON turns `-Wthread-safety` into a
+/// hard error, making lock discipline a compile-time property instead of a
+/// TSan-schedule lottery: every mutex-protected member is declared
+/// ISUM_GUARDED_BY its mutex, and the analyzer rejects any access path that
+/// cannot prove the lock is held.
+///
+/// The annotated `isum::Mutex` / `isum::MutexLock` / `isum::CondVar` shims
+/// these attributes attach to live in common/mutex.h; the isum_lint rule
+/// `isum-guarded-by` rejects raw `std::mutex` members in src/ so new shared
+/// state cannot dodge the analysis. Annotation policy and examples are in
+/// docs/ANALYSIS.md.
+
+#if defined(__clang__)
+#define ISUM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ISUM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Declares a class as a lockable capability ("mutex") so the analyzer can
+/// reason about acquiring/releasing instances of it.
+#define ISUM_CAPABILITY(x) ISUM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. isum::MutexLock).
+#define ISUM_SCOPED_CAPABILITY \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// A data member that may only be accessed while holding `x`.
+#define ISUM_GUARDED_BY(x) ISUM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// A pointer member whose *pointee* may only be accessed while holding `x`.
+#define ISUM_PT_GUARDED_BY(x) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called while already holding the listed
+/// capabilities (they are not acquired or released by the call).
+#define ISUM_REQUIRES(...) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (deadlock / lock-ordering guard, e.g. a re-entrant registration path).
+#define ISUM_EXCLUDES(...) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define ISUM_ACQUIRE(...) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define ISUM_RELEASE(...) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `result`
+/// (true/false) on success.
+#define ISUM_TRY_ACQUIRE(...) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result
+/// (lets callers lock through an accessor).
+#define ISUM_RETURN_CAPABILITY(x) \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts one function out of the analysis. Reserve for code the analyzer
+/// cannot model (condition-variable internals, intentional test abuse) and
+/// justify with a comment.
+#define ISUM_NO_THREAD_SAFETY_ANALYSIS \
+  ISUM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // ISUM_COMMON_THREAD_ANNOTATIONS_H_

@@ -46,10 +46,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -59,10 +59,14 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(size_t)>* fn = nullptr;
     const CancellationToken* cancel = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] {
-        return shutdown_ || (batch_fn_ != nullptr && next_index_ < batch_size_);
-      });
+      // Predicate loop stays inline (not a wait-with-lambda) so the guarded
+      // reads sit in this annotated scope, where the analysis can prove
+      // mutex_ is held.
+      MutexLock lock(mutex_);
+      while (!shutdown_ &&
+             (batch_fn_ == nullptr || next_index_ >= batch_size_)) {
+        work_available_.Wait(mutex_);
+      }
       if (shutdown_) return;
       index = next_index_++;
       fn = batch_fn_;
@@ -72,8 +76,8 @@ void ThreadPool::WorkerLoop() {
     // so the caller's ParallelFor unblocks promptly.
     if (cancel == nullptr || !cancel->cancelled()) (*fn)(index);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (++completed_ == batch_size_) work_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (++completed_ == batch_size_) work_done_.NotifyAll();
     }
   }
 }
@@ -85,18 +89,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   PoolMetrics::Get().batches->Add(1);
   PoolMetrics::Get().tasks->Add(n);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     batch_fn_ = &fn;
     batch_cancel_ = cancel.cancellable() ? &cancel : nullptr;
     batch_size_ = n;
     next_index_ = 0;
     completed_ = 0;
   }
-  work_available_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return completed_ == batch_size_; });
-  batch_fn_ = nullptr;
-  batch_cancel_ = nullptr;
+  work_available_.NotifyAll();
+  {
+    MutexLock lock(mutex_);
+    while (completed_ != batch_size_) work_done_.Wait(mutex_);
+    batch_fn_ = nullptr;
+    batch_cancel_ = nullptr;
+  }
 }
 
 }  // namespace isum

@@ -1,15 +1,14 @@
 #ifndef ISUM_COMMON_THREAD_POOL_H_
 #define ISUM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace isum {
 
@@ -36,23 +35,28 @@ class ThreadPool {
   /// cancellation is cooperative, so fn should also poll the token if a
   /// single call can run long. ParallelFor still returns only after every
   /// claimed index completed or was skipped.
+  ///
+  /// Must not be called while holding mutex_ (it blocks on the workers,
+  /// which need the lock to claim indexes).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   const CancellationToken& cancel = {});
+                   const CancellationToken& cancel = {})
+      ISUM_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ISUM_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable work_done_;
-  // Current batch state (one ParallelFor at a time).
-  const std::function<void(size_t)>* batch_fn_ = nullptr;
-  const CancellationToken* batch_cancel_ = nullptr;
-  size_t batch_size_ = 0;
-  size_t next_index_ = 0;
-  size_t completed_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar work_done_;
+  // Current batch state (one ParallelFor at a time), guarded by mutex_.
+  const std::function<void(size_t)>* batch_fn_ ISUM_GUARDED_BY(mutex_) =
+      nullptr;
+  const CancellationToken* batch_cancel_ ISUM_GUARDED_BY(mutex_) = nullptr;
+  size_t batch_size_ ISUM_GUARDED_BY(mutex_) = 0;
+  size_t next_index_ ISUM_GUARDED_BY(mutex_) = 0;
+  size_t completed_ ISUM_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ ISUM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace isum

@@ -59,7 +59,7 @@ StatusOr<double> WhatIfOptimizer::TryCost(const sql::BoundQuery& query,
   const Key key{&query, config.StableHash()};
   Shard& shard = shards_[KeyHash()(key) % kShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.cache.find(key);
     if (it != shard.cache.end()) {
       cache_hits_.Add(1);
@@ -101,7 +101,7 @@ StatusOr<double> WhatIfOptimizer::TryCost(const sql::BoundQuery& query,
   metrics.calls->Add(1);
   metrics.optimize_nanos->Observe(nanos);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.cache.emplace(key, cost);
   }
   return cost;

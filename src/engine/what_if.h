@@ -3,11 +3,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/optimizer.h"
 #include "obs/metrics.h"
 
@@ -104,7 +105,7 @@ class WhatIfOptimizer {
   }
   void ClearCache() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       shard.cache.clear();
     }
   }
@@ -129,8 +130,8 @@ class WhatIfOptimizer {
 
   static constexpr size_t kShards = 16;
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<Key, double, KeyHash> cache;
+    Mutex mutex;
+    std::unordered_map<Key, double, KeyHash> cache ISUM_GUARDED_BY(mutex);
   };
 
   Optimizer optimizer_;

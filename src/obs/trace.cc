@@ -25,7 +25,7 @@ Tracer::ThreadState* Tracer::CurrentThreadState() {
   static thread_local ThreadState* tls_state = nullptr;
   if (tls_state == nullptr) {
     auto state = std::make_unique<ThreadState>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state->tid = static_cast<uint32_t>(threads_.size());
     tls_state = state.get();
     threads_.push_back(std::move(state));
@@ -34,9 +34,9 @@ Tracer::ThreadState* Tracer::CurrentThreadState() {
 }
 
 void Tracer::Enable() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& thread : threads_) {
-    std::lock_guard<std::mutex> thread_lock(thread->mu);
+    MutexLock thread_lock(thread->mu);
     thread->spans.clear();
     thread->depth = 0;
     thread->root_count = 0;
@@ -50,11 +50,11 @@ void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 TraceDump Tracer::Drain() {
   TraceDump dump;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   dump.thread_names.resize(threads_.size());
   for (auto& thread : threads_) {
     dump.thread_names[thread->tid] = thread->name;
-    std::lock_guard<std::mutex> thread_lock(thread->mu);
+    MutexLock thread_lock(thread->mu);
     dump.spans.insert(dump.spans.end(), thread->spans.begin(),
                       thread->spans.end());
     thread->spans.clear();
@@ -72,7 +72,7 @@ TraceDump Tracer::Drain() {
 
 void Tracer::SetCurrentThreadName(std::string name) {
   ThreadState* state = CurrentThreadState();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   state->name = std::move(name);
 }
 
@@ -114,7 +114,7 @@ void TraceSpan::End() {
   record.start_nanos = start_nanos_;
   record.dur_nanos = end >= start_raw_nanos_ ? end - start_raw_nanos_ : 0;
   state_->depth--;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->spans.push_back(record);
 }
 

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace isum::obs {
 
@@ -88,25 +90,31 @@ class Tracer {
  private:
   friend class TraceSpan;
   struct ThreadState {
+    /// tid/depth/sampling state and `name` are owner-thread-private between
+    /// registration and Drain; `name` is additionally only mutated under
+    /// the Tracer's mu_ (SetCurrentThreadName) and read by Drain under the
+    /// same lock.
     uint32_t tid = 0;
     uint32_t depth = 0;
     /// Sampling state: root spans seen, and >0 while inside a skipped tree.
     uint64_t root_count = 0;
     uint32_t skip_depth = 0;
     std::string name;
-    std::mutex mu;  ///< guards `spans` (owner appends, Drain steals)
-    std::vector<SpanRecord> spans;
+    Mutex mu;
+    /// Owner appends, Drain steals — both under `mu`.
+    std::vector<SpanRecord> spans ISUM_GUARDED_BY(mu);
   };
 
   Tracer() = default;
-  ThreadState* CurrentThreadState();
+  ThreadState* CurrentThreadState() ISUM_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> sample_every_{1};
   std::atomic<ClockFn> clock_{nullptr};
   std::atomic<uint64_t> session_start_nanos_{0};
-  mutable std::mutex mu_;  ///< guards `threads_` and thread names
-  std::vector<std::unique_ptr<ThreadState>> threads_;
+  mutable Mutex mu_;
+  /// Thread registry (and the per-thread names, see ThreadState).
+  std::vector<std::unique_ptr<ThreadState>> threads_ ISUM_GUARDED_BY(mu_);
 };
 
 /// RAII span. Prefer the ISUM_TRACE_SPAN macro; `name` must be a static

@@ -24,17 +24,103 @@ bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
                      [&](const Violation& v) { return v.rule == rule; });
 }
 
-TEST(LintStrip, RemovesCommentsAndLiteralContents) {
-  bool in_block = false;
-  EXPECT_EQ(StripCommentsAndLiterals("int a;  // assert(x)", &in_block),
-            "int a;  ");
-  EXPECT_EQ(StripCommentsAndLiterals("f(\"assert(x)\");", &in_block),
-            "f(\"         \");");
-  EXPECT_EQ(StripCommentsAndLiterals("a /* b", &in_block), "a ");
-  EXPECT_TRUE(in_block);
-  EXPECT_EQ(StripCommentsAndLiterals("still */ c", &in_block), " c");
-  EXPECT_FALSE(in_block);
+// ---------------------------------------------------------------- lexer
+
+TEST(LintLexer, TokenKindsAndPositions) {
+  const LexedSource src = Lex("int a = 42;\nf(a, \"str\", 'c');\n");
+  ASSERT_GE(src.tokens.size(), 5u);
+  EXPECT_EQ(src.tokens[0].kind, Token::Kind::kIdent);
+  EXPECT_EQ(src.tokens[0].text, "int");
+  EXPECT_EQ(src.tokens[0].line, 1);
+  EXPECT_EQ(src.tokens[0].col, 1);
+  EXPECT_EQ(src.tokens[2].kind, Token::Kind::kPunct);
+  EXPECT_EQ(src.tokens[2].text, "=");
+  EXPECT_EQ(src.tokens[3].kind, Token::Kind::kNumber);
+  EXPECT_EQ(src.tokens[3].text, "42");
+  EXPECT_EQ(src.tokens[3].col, 9);
+  // Second line: string and char literals become opaque tokens.
+  const auto str = std::find_if(
+      src.tokens.begin(), src.tokens.end(),
+      [](const Token& t) { return t.kind == Token::Kind::kString; });
+  ASSERT_NE(str, src.tokens.end());
+  EXPECT_EQ(str->line, 2);
+  EXPECT_EQ(str->text, "<string>");
+  const auto chr = std::find_if(
+      src.tokens.begin(), src.tokens.end(),
+      [](const Token& t) { return t.kind == Token::Kind::kChar; });
+  ASSERT_NE(chr, src.tokens.end());
 }
+
+TEST(LintLexer, ScopeResolutionIsOneToken) {
+  const LexedSource src = Lex("std::mutex m;");
+  ASSERT_EQ(src.tokens.size(), 5u);  // std :: mutex m ;
+  EXPECT_EQ(src.tokens[1].text, "::");
+  EXPECT_EQ(src.tokens[1].kind, Token::Kind::kPunct);
+}
+
+TEST(LintLexer, PreprocessorDirectiveHeads) {
+  const LexedSource src = Lex("#ifndef FOO_H_\n#define FOO_H_\nint x;\n");
+  ASSERT_GE(src.tokens.size(), 4u);
+  EXPECT_EQ(src.tokens[0].kind, Token::Kind::kPreproc);
+  EXPECT_EQ(src.tokens[0].text, "#ifndef");
+  EXPECT_EQ(src.tokens[1].text, "FOO_H_");
+  EXPECT_EQ(src.tokens[2].text, "#define");
+}
+
+TEST(LintLexer, MultiLineBlockCommentProducesNoTokens) {
+  const LexedSource src = Lex("a /* b\nassert(x);\nprintf(y); */ c\n");
+  ASSERT_EQ(src.tokens.size(), 2u);
+  EXPECT_EQ(src.tokens[0].text, "a");
+  EXPECT_EQ(src.tokens[1].text, "c");
+  EXPECT_EQ(src.tokens[1].line, 3);  // line tracking survives the comment
+}
+
+TEST(LintLexer, RawStringSpansLinesAsOneToken) {
+  const LexedSource src =
+      Lex("auto s = R\"sql(\nSELECT rand()\n)sql\";\nint z;\n");
+  const auto str = std::find_if(
+      src.tokens.begin(), src.tokens.end(),
+      [](const Token& t) { return t.kind == Token::Kind::kString; });
+  ASSERT_NE(str, src.tokens.end());
+  // Nothing inside the raw string leaks out as identifiers.
+  for (const Token& t : src.tokens) {
+    EXPECT_NE(t.text, "SELECT");
+    EXPECT_NE(t.text, "rand");
+  }
+  // Tokens after the raw string land on the right line.
+  EXPECT_EQ(src.tokens.back().text, ";");
+  EXPECT_EQ(src.tokens[src.tokens.size() - 2].text, "z");
+  EXPECT_EQ(src.tokens[src.tokens.size() - 2].line, 4);
+}
+
+TEST(LintLexer, NolintHarvestedFromCommentsOnly) {
+  const LexedSource src = Lex(
+      "abort();  // NOLINT(isum-no-assert)\n"
+      "const char* s = \"NOLINT\";\n"
+      "// NOLINTNEXTLINE\n");
+  ASSERT_EQ(src.nolint.size(), 1u);
+  EXPECT_EQ(src.nolint.begin()->first, 1);
+  EXPECT_FALSE(src.nolint.begin()->second.blanket);
+  ASSERT_EQ(src.nolint.begin()->second.rules.size(), 1u);
+  EXPECT_EQ(src.nolint.begin()->second.rules[0], "isum-no-assert");
+  // The string-literal "NOLINT" on line 2 is data, not a directive.
+  EXPECT_EQ(src.nolint.count(2), 0u);
+  // NOLINTNEXTLINE registers in its own map, not as a same-line NOLINT.
+  ASSERT_EQ(src.nolint_next.size(), 1u);
+  EXPECT_EQ(src.nolint_next.begin()->first, 3);
+  EXPECT_TRUE(src.nolint_next.begin()->second.blanket);
+}
+
+TEST(LintLexer, NolintInsideBlockCommentAttachesToItsLine) {
+  const LexedSource src = Lex(
+      "/* explanation\n"
+      "   NOLINT(isum-no-stdio)\n"
+      "   more text */\n");
+  ASSERT_EQ(src.nolint.size(), 1u);
+  EXPECT_EQ(src.nolint.begin()->first, 2);
+}
+
+// ------------------------------------------------------- existing rules
 
 TEST(LintNoAssert, FlagsAssertAndAbortButNotStaticAssert) {
   const auto vs = Lint("src/x.cc",
@@ -56,6 +142,31 @@ TEST(LintNoAssert, IgnoresCommentsAndStrings) {
   EXPECT_TRUE(vs.empty());
 }
 
+TEST(LintNoAssert, IgnoresMultiLineCommentsAndRawStrings) {
+  // Regression: the line-oriented engine saw the middle of multi-line
+  // block comments and raw strings as code.
+  EXPECT_TRUE(Lint("src/x.cc",
+                   "/* start of a long comment\n"
+                   "   abort();\n"
+                   "   assert(x);\n"
+                   "   end */\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/x.cc",
+                   "const char* q = R\"(\n"
+                   "  abort();\n"
+                   ")\";\n")
+                  .empty());
+}
+
+TEST(LintNoAssert, NolintInsideStringDoesNotSuppress) {
+  // Regression: a "NOLINT" inside a string literal on the same line used to
+  // suppress real findings.
+  const auto vs = Lint("src/x.cc",
+                       "log(\"see NOLINT docs\"); abort();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-no-assert");
+}
+
 TEST(LintNoStdio, FlagsPrintfFamilyAndStreams) {
   const auto vs = Lint("src/x.cc",
                        "void F() {\n"
@@ -75,6 +186,15 @@ TEST(LintNoStdio, AllowsSnprintfFormatting) {
   EXPECT_TRUE(vs.empty());
 }
 
+TEST(LintNoStdio, ToolsBenchAndTestsMayUseStdio) {
+  const std::string snippet = "int main() { printf(\"ok\\n\"); }\n";
+  EXPECT_FALSE(HasRule(Lint("tools/tracecat/main.cc", snippet),
+                       "isum-no-stdio"));
+  EXPECT_FALSE(HasRule(Lint("bench/bench_compress.cc", snippet),
+                       "isum-no-stdio"));
+  EXPECT_FALSE(HasRule(Lint("tests/foo_test.cc", snippet), "isum-no-stdio"));
+}
+
 TEST(LintNondeterminism, FlagsRandFamilyOutsideRng) {
   const auto vs = Lint("src/core/x.cc",
                        "int a = rand();\n"
@@ -86,6 +206,14 @@ TEST(LintNondeterminism, FlagsRandFamilyOutsideRng) {
 TEST(LintNondeterminism, ExemptsRngImplementation) {
   const auto vs = Lint("src/common/rng.cc", "int a = rand();\n");
   EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintNondeterminism, AppliesToBenchButNotTests) {
+  const std::string snippet = "int a = rand();\n";
+  EXPECT_TRUE(HasRule(Lint("bench/bench_compress.cc", snippet),
+                      "isum-no-nondeterminism"));
+  EXPECT_FALSE(HasRule(Lint("tests/foo_test.cc", snippet),
+                       "isum-no-nondeterminism"));
 }
 
 TEST(LintNondeterminism, FlagsClockReadsOnlyInCore) {
@@ -175,6 +303,26 @@ TEST(LintIncludeGuard, FlagsWrongOrMissingGuard) {
                    "#define ISUM_TOOLS_LINT_LINT_H_\n"
                    "#endif\n")
                   .empty());
+  // bench/ and tests/ headers keep their whole repo-relative path.
+  EXPECT_TRUE(Lint("bench/bench_util.h",
+                   "#ifndef ISUM_BENCH_BENCH_UTIL_H_\n"
+                   "#define ISUM_BENCH_BENCH_UTIL_H_\n"
+                   "#endif\n")
+                  .empty());
+}
+
+TEST(LintIncludeGuard, WrongGuardCarriesARenameFix) {
+  const auto vs = Lint("src/catalog/catalog.h",
+                       "#ifndef CATALOG_H\n#define CATALOG_H\n#endif\n");
+  ASSERT_EQ(vs.size(), 1u);
+  ASSERT_EQ(vs[0].fixes.size(), 2u);  // #ifndef and #define both renamed
+  EXPECT_EQ(vs[0].fixes[0].replacement, "ISUM_CATALOG_CATALOG_H_");
+  EXPECT_EQ(vs[0].fixes[0].line, 1);
+  EXPECT_EQ(vs[0].fixes[1].line, 2);
+  // A missing guard has no mechanical fix.
+  const auto missing = Lint("src/catalog/catalog.h", "int x;\n");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_TRUE(missing[0].fixes.empty());
 }
 
 TEST(LintOverride, FlagsVirtualInDerivedClass) {
@@ -201,7 +349,7 @@ TEST(LintOverride, FlagsWrappedDeclarationMissingOverride) {
                        " public:\n"
                        "  virtual std::vector<int> Compute(\n"
                        "      const std::string& name,\n"
-                       "      int budget);\n"
+                       "      int count);\n"
                        "};\n"
                        "#endif  // ISUM_X_H_\n");
   ASSERT_EQ(vs.size(), 1u);
@@ -217,7 +365,7 @@ TEST(LintOverride, AcceptsOverrideOnContinuationLine) {
                        " public:\n"
                        "  virtual std::vector<int> Compute(\n"
                        "      const std::string& name,\n"
-                       "      int budget) override;\n"
+                       "      int count) override;\n"
                        "};\n"
                        "#endif  // ISUM_X_H_\n");
   EXPECT_TRUE(vs.empty());
@@ -234,6 +382,21 @@ TEST(LintOverride, IgnoresBaseClassVirtuals) {
                        "};\n"
                        "#endif  // ISUM_X_H_\n");
   EXPECT_TRUE(vs.empty());
+}
+
+TEST(LintOverride, SeesClassHeadsWrappedAcrossLines) {
+  // The line-oriented engine required `class ... {` on one physical line.
+  const auto vs = Lint("src/x.h",
+                       "#ifndef ISUM_X_H_\n"
+                       "#define ISUM_X_H_\n"
+                       "class VeryLongDerivedName\n"
+                       "    : public Base {\n"
+                       " public:\n"
+                       "  virtual void F();\n"
+                       "};\n"
+                       "#endif  // ISUM_X_H_\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-missing-override");
 }
 
 TEST(LintStatus, CollectsStatusReturningNames) {
@@ -319,14 +482,15 @@ TEST(LintOutput, ViolationFormatsAsFileLineCol) {
                               "use ISUM_CHECK or return a Status");
 }
 
-TEST(LintRules, KnownRulesListsAllEightRules) {
+TEST(LintRules, KnownRulesListsAllElevenRules) {
   const auto rules = KnownRules();
-  EXPECT_EQ(rules.size(), 8u);
+  EXPECT_EQ(rules.size(), 11u);
   for (const char* r :
        {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
         "isum-include-guard", "isum-missing-override",
         "isum-unchecked-status", "isum-no-raw-clock",
-        "isum-no-perpair-alloc"}) {
+        "isum-no-perpair-alloc", "isum-budget-poll", "isum-lock-scope",
+        "isum-guarded-by"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
 }
@@ -394,6 +558,233 @@ TEST(LintPerPairAlloc, HonorsNolint) {
            "  }\n"
            "}\n")
           .empty());
+}
+
+// ------------------------------------------------------ flow-aware rules
+
+TEST(LintBudgetPoll, FlagsCostingLoopWithoutPoll) {
+  const auto vs = Lint("src/core/greedy.cc",
+                       "void F(Workload& w) {\n"
+                       "  for (size_t i = 0; i < w.size(); ++i) {\n"
+                       "    total += optimizer.TryCost(w.query(i), conf);\n"
+                       "  }\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-budget-poll");
+  EXPECT_EQ(vs[0].line, 2);  // reported at the loop header
+  EXPECT_NE(vs[0].message.find("TryCost"), std::string::npos);
+}
+
+TEST(LintBudgetPoll, PollingOrThreadingTheBudgetIsClean) {
+  // Explicit poll in the loop body.
+  EXPECT_TRUE(Lint("src/core/greedy.cc",
+                   "void F(Workload& w, const TimeBudget& budget) {\n"
+                   "  for (size_t i = 0; i < w.size(); ++i) {\n"
+                   "    if (!budget.CheckCancelled().ok()) break;\n"
+                   "    total += optimizer.TryCost(w.query(i), conf);\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+  // Budget threaded into the costing call itself.
+  EXPECT_TRUE(Lint("src/advisor/enumerator.cc",
+                   "void F(Workload& w, const TimeBudget& round_budget) {\n"
+                   "  while (More()) {\n"
+                   "    total += optimizer.TryCost(q, conf, round_budget);\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintBudgetPoll, OnlyCoreAndAdvisorAreInScope) {
+  const std::string snippet =
+      "void F() {\n"
+      "  for (int i = 0; i < 9; ++i) {\n"
+      "    total += optimizer.TryCost(q, conf);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(Lint("src/eval/pipeline.cc", snippet),
+                       "isum-budget-poll"));
+  EXPECT_FALSE(HasRule(Lint("tests/foo_test.cc", snippet),
+                       "isum-budget-poll"));
+  EXPECT_TRUE(HasRule(Lint("src/advisor/enumerator.cc", snippet),
+                      "isum-budget-poll"));
+}
+
+TEST(LintBudgetPoll, InnerPollSatisfiesEveryEnclosingLoop) {
+  // A poll anywhere inside the loop body (here: in the inner loop) counts
+  // for every enclosing loop — per-iteration polling is the documented
+  // pattern.
+  EXPECT_TRUE(Lint("src/core/greedy.cc",
+                   "void F(const TimeBudget& budget) {\n"
+                   "  while (round < max_rounds) {\n"
+                   "    for (size_t i = 0; i < n; ++i) {\n"
+                   "      if (!budget.CheckCancelled().ok()) break;\n"
+                   "      total += optimizer.TryCost(q[i], conf);\n"
+                   "    }\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+  // Conversely: an outer-loop poll that happens before the costing loop is
+  // even entered does not license a poll-free inner costing loop.
+  EXPECT_TRUE(HasRule(Lint("src/core/greedy.cc",
+                           "void F(const TimeBudget& budget) {\n"
+                           "  while (round < max_rounds) {\n"
+                           "    if (!budget.CheckCancelled().ok()) break;\n"
+                           "    for (size_t i = 0; i < n; ++i) {\n"
+                           "      total += optimizer.TryCost(q[i], conf);\n"
+                           "    }\n"
+                           "  }\n"
+                           "}\n"),
+                      "isum-budget-poll"));
+}
+
+TEST(LintBudgetPoll, HonorsNolintOnLoopHeader) {
+  EXPECT_TRUE(Lint("src/core/greedy.cc",
+                   "void F() {\n"
+                   "  // NOLINTNEXTLINE(isum-budget-poll)\n"
+                   "  for (size_t i = 0; i < n; ++i) {\n"
+                   "    total += optimizer.TryCost(q, conf);\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintLockScope, FlagsExpensiveCallsUnderALock) {
+  const auto vs = Lint("src/engine/what_if.cc",
+                       "void F() {\n"
+                       "  MutexLock lock(shard.mutex);\n"
+                       "  double c = optimizer_->Optimize(q, conf);\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-lock-scope");
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+TEST(LintLockScope, LockScopeEndsAtItsBrace) {
+  EXPECT_TRUE(Lint("src/engine/what_if.cc",
+                   "void F() {\n"
+                   "  {\n"
+                   "    std::lock_guard<std::mutex> lock(mu);  "
+                   "// NOLINT(isum-guarded-by)\n"
+                   "    cache[key] = value;\n"
+                   "  }\n"
+                   "  double c = optimizer_->Optimize(q, conf);\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintLockScope, AppliesOutsideSrcToo) {
+  EXPECT_TRUE(HasRule(Lint("tests/pool_test.cc",
+                           "void F() {\n"
+                           "  std::scoped_lock lock(mu);\n"
+                           "  pool.ParallelFor(0, n, fn);\n"
+                           "}\n"),
+                      "isum-lock-scope"));
+  // The annotated shims themselves are exempt.
+  EXPECT_FALSE(HasRule(Lint("src/common/mutex.h",
+                            "void F() {\n"
+                            "  MutexLock lock(mu);\n"
+                            "  SleepForNanos(1);\n"
+                            "}\n"),
+                       "isum-lock-scope"));
+}
+
+TEST(LintGuardedBy, FlagsStdMutexInLibraryCodeWithFix) {
+  const auto vs = Lint("src/engine/cache.h",
+                       "#ifndef ISUM_ENGINE_CACHE_H_\n"
+                       "#define ISUM_ENGINE_CACHE_H_\n"
+                       "class C {\n"
+                       "  std::mutex mu_;\n"
+                       "};\n"
+                       "#endif  // ISUM_ENGINE_CACHE_H_\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-guarded-by");
+  EXPECT_EQ(vs[0].line, 4);
+  ASSERT_EQ(vs[0].fixes.size(), 1u);
+  EXPECT_EQ(vs[0].fixes[0].replacement, "isum::Mutex");
+}
+
+TEST(LintGuardedBy, FlagsCondVarAndExemptsShimAndNonSrc) {
+  EXPECT_TRUE(HasRule(Lint("src/common/thread_pool.h",
+                           "std::condition_variable work_available_;\n"),
+                      "isum-guarded-by"));
+  // The shim wraps the std types by design.
+  EXPECT_FALSE(HasRule(Lint("src/common/mutex.h", "std::mutex raw_;\n"),
+                       "isum-guarded-by"));
+  // Tests and tools may use raw std::mutex.
+  EXPECT_FALSE(HasRule(Lint("tests/foo_test.cc", "std::mutex mu;\n"),
+                       "isum-guarded-by"));
+}
+
+TEST(LintGuardedBy, TemplateArgumentsAndIncludesAreNotDeclarations) {
+  EXPECT_TRUE(Lint("src/engine/x.cc",
+                   "#include <mutex>\n"
+                   "void F() {\n"
+                   "  std::unique_lock<std::mutex> lk(mu, std::defer_lock);\n"
+                   "}\n")
+                  .empty());
+}
+
+// ------------------------------------------------- fixes and output
+
+TEST(LintApplyFixes, RewritesGuardAndMutexDeclarations) {
+  const std::string content =
+      "#ifndef WRONG_H\n"
+      "#define WRONG_H\n"
+      "std::mutex mu;\n"
+      "#endif\n";
+  const auto vs = Lint("src/catalog/catalog.h", content);
+  const std::string fixed = ApplyFixes(content, vs);
+  EXPECT_NE(fixed.find("#ifndef ISUM_CATALOG_CATALOG_H_"),
+            std::string::npos);
+  EXPECT_NE(fixed.find("#define ISUM_CATALOG_CATALOG_H_"),
+            std::string::npos);
+  EXPECT_NE(fixed.find("isum::Mutex mu;"), std::string::npos);
+  EXPECT_EQ(fixed.find("std::mutex"), std::string::npos);
+  // Re-linting the fixed content finds nothing fixable.
+  const auto again = Lint("src/catalog/catalog.h", fixed);
+  for (const auto& v : again) EXPECT_TRUE(v.fixes.empty());
+}
+
+TEST(LintApplyFixes, NoFixesIsIdentity) {
+  const std::string content = "abort();\n";
+  const auto vs = Lint("src/x.cc", content);
+  EXPECT_EQ(ApplyFixes(content, vs), content);
+}
+
+TEST(LintOutputFormats, JsonShape) {
+  const auto vs = Lint("src/x.cc", "abort();\n");
+  const std::string json = ToJson(vs);
+  EXPECT_NE(json.find("\"violations\":["), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/x.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"isum-no-assert\""), std::string::npos);
+  EXPECT_NE(json.find("\"fixable\":false"), std::string::npos);
+  // Empty input still yields a valid document.
+  EXPECT_EQ(ToJson({}), "{\"violations\":[]}");
+}
+
+TEST(LintOutputFormats, SarifShape) {
+  const auto vs = Lint("src/x.cc", "abort();\n");
+  const std::string sarif = ToSarif(vs);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"isum_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"isum-no-assert\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"artifactLocation\":{\"uri\":\"src/x.cc\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":1"), std::string::npos);
+  // Every known rule is declared in the driver's rule table.
+  for (const auto& rule : KnownRules()) {
+    EXPECT_NE(sarif.find("{\"id\":\"" + rule + "\"}"), std::string::npos)
+        << rule;
+  }
+  // Messages with quotes/backslashes are escaped into valid JSON.
+  std::vector<Violation> weird;
+  weird.push_back(Violation{"src/a\"b.cc", 1, 1, "isum-no-assert",
+                            "say \"no\" to \\ backslashes", {}});
+  const std::string escaped = ToSarif(weird);
+  EXPECT_NE(escaped.find("say \\\"no\\\" to \\\\ backslashes"),
+            std::string::npos);
 }
 
 }  // namespace

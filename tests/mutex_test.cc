@@ -1,0 +1,108 @@
+// Runtime behavior of the annotated synchronization shims
+// (common/mutex.h). The *static* half — clang's -Wthread-safety proving
+// lock discipline — is exercised by the thread_safety_fail compile-fail
+// test, which only registers under -DISUM_THREAD_SAFETY=ON (clang builds);
+// these tests pin down the runtime semantics every build relies on.
+
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace isum {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Same-thread re-acquisition would deadlock/UB on std::mutex, so probe
+  // from another thread.
+  bool acquired = true;
+  std::thread prober([&] { acquired = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, LowercaseLockableSpellingsAlias) {
+  // CondVar and std::unique_lock reach the mutex through the standard
+  // Lockable spellings; both must hit the same underlying mutex.
+  Mutex mu;
+  mu.lock();
+  bool acquired = true;
+  std::thread prober([&] { acquired = mu.try_lock(); });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = 42;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, NotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke, kWaiters);
+}
+
+}  // namespace
+}  // namespace isum

@@ -1,0 +1,45 @@
+// Compile-fail fixture for the thread-safety analysis gate. This file
+// deliberately reads and writes ISUM_GUARDED_BY state without holding the
+// guarding mutex; under `-DISUM_THREAD_SAFETY=ON` (clang,
+// -Wthread-safety promoted to an error) it MUST NOT compile. The
+// thread_safety_fail_compiles ctest entry builds it and asserts failure
+// (WILL_FAIL), proving the analysis is actually armed — a toolchain or
+// flag regression that silently disabled the analysis would flip this
+// test red.
+//
+// Never add this file to a normal target: under gcc the annotations are
+// no-ops and it would compile (and race) happily.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace isum {
+
+class UnsafeCounter {
+ public:
+  // Write without the lock: ISUM_GUARDED_BY violation #1.
+  void Increment() { ++count_; }
+
+  // Read without the lock: ISUM_GUARDED_BY violation #2.
+  int Get() const { return count_; }
+
+  // Claims to require the lock but never takes it, then calls itself
+  // recursively satisfied — the REQUIRES contract is unmet at this call
+  // site: violation #3.
+  int GetLocked() const ISUM_REQUIRES(mu_) { return count_; }
+  int GetWithoutHolding() const { return GetLocked(); }
+
+ private:
+  mutable Mutex mu_;
+  int count_ ISUM_GUARDED_BY(mu_) = 0;
+};
+
+int ThreadSafetyFailDriver() {
+  UnsafeCounter c;
+  c.Increment();
+  return c.Get() + c.GetWithoutHolding();
+}
+
+}  // namespace isum
+
+int main() { return isum::ThreadSafetyFailDriver(); }

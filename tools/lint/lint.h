@@ -1,19 +1,33 @@
 #ifndef ISUM_TOOLS_LINT_LINT_H_
 #define ISUM_TOOLS_LINT_LINT_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 namespace isum::lint {
 
+/// A mechanical replacement attached to a violation: replace the half-open
+/// column range [col_begin, col_end) on `line` (both 1-based) with
+/// `replacement`. Applied by `isum_lint --fix` via ApplyFixes().
+struct FixIt {
+  int line = 0;
+  int col_begin = 0;
+  int col_end = 0;
+  std::string replacement;
+};
+
 /// One rule violation at a source location. `rule` is the NOLINT slug
 /// (e.g. "isum-no-assert"); `message` explains the specific finding.
+/// `fixes` is non-empty only for mechanically fixable rules
+/// (isum-include-guard guard renames, isum-guarded-by type swaps).
 struct Violation {
   std::string file;
   int line = 0;
   int column = 1;
   std::string rule;
   std::string message;
+  std::vector<FixIt> fixes;
 
   /// Renders as "file:line:col: [rule] message" (machine-readable, one per
   /// line; mirrors compiler diagnostics so editors can jump to it).
@@ -23,6 +37,49 @@ struct Violation {
 /// Names of every rule the checker knows, as accepted by NOLINT(...).
 std::vector<std::string> KnownRules();
 
+/// ---- Token stream ----
+///
+/// The rule engine runs on a lexed token stream, not raw lines: comments
+/// and string/character literals (including multi-line block comments and
+/// raw strings with custom delimiters) can never produce or mask findings,
+/// and scope-tracking rules (loop bodies, lock scopes, class bodies) see
+/// real brace structure across physical lines.
+
+struct Token {
+  enum class Kind {
+    kIdent,    ///< identifier or keyword
+    kNumber,   ///< numeric literal (including hex, separators, exponents)
+    kString,   ///< string literal ("...", R"delim(...)delim"); text is the
+               ///< placeholder "<string>" — contents never reach the rules
+    kChar,     ///< character literal; text is "<char>"
+    kPunct,    ///< one punctuation character, except "::" which is one token
+    kPreproc,  ///< a directive head at the start of a line, e.g. "#ifndef"
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based byte column of the token's first character
+};
+
+/// Rules suppressed by one NOLINT / NOLINTNEXTLINE directive. An empty
+/// `rules` list with `blanket` set suppresses everything on the line.
+struct Suppression {
+  bool blanket = false;
+  std::vector<std::string> rules;
+};
+
+/// A lexed translation unit: the token stream plus the NOLINT directives
+/// harvested from real comments (a "NOLINT" inside a string literal is
+/// data, not a directive, and is ignored).
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::map<int, Suppression> nolint;       ///< NOLINT(...) on this line
+  std::map<int, Suppression> nolint_next;  ///< NOLINTNEXTLINE(...) here
+};
+
+/// Lexes C++ source. Never fails: unterminated constructs run to EOF.
+LexedSource Lex(const std::string& content);
+
 /// Function names declared in a header with a Status/StatusOr return type.
 /// Collected in a first pass over headers so the unchecked-status rule can
 /// flag `(void)`-laundered calls in a second pass.
@@ -31,22 +88,35 @@ struct StatusApi {
 };
 
 /// Scans header `content` for Status/StatusOr-returning function
-/// declarations and records their names into `api`.
+/// declarations and records their names into `api`. Declarations wrapped
+/// across physical lines need no special casing — the token stream spans
+/// lines.
 void CollectStatusApi(const std::string& content, StatusApi* api);
 
-/// Lints one file's `content`. `path` is the repo-relative path (used both
-/// for reporting and for path-scoped rules, e.g. the include-guard pattern
-/// and the rng.cc exemption). Appends findings to `out`.
+/// Lints one file's `content`. `path` is the repo-relative path, used for
+/// reporting and for path-scoped rules: rule families activate per
+/// directory (e.g. isum-no-stdio only under src/ — tools, benches, and
+/// tests legitimately own stdio; see docs/ANALYSIS.md for the matrix).
+/// Appends findings to `out`.
 void LintFile(const std::string& path, const std::string& content,
               const StatusApi& api, std::vector<Violation>* out);
 
-/// Strips comments and string/character literals from one line of code,
-/// updating `in_block_comment` across calls. Exposed for tests. Characters
-/// inside literals are replaced with spaces so columns stay aligned;
-/// comment text is removed except that NOLINT directives are honored by the
-/// caller before stripping.
-std::string StripCommentsAndLiterals(const std::string& line,
-                                     bool* in_block_comment);
+/// Applies every FixIt carried by `violations` to `content` and returns the
+/// patched text. Fixes are applied bottom-up so earlier replacements never
+/// shift later ones; overlapping fixes keep the first and drop the rest.
+std::string ApplyFixes(const std::string& content,
+                       const std::vector<Violation>& violations);
+
+/// ---- Machine-readable output ----
+
+/// {"violations":[{file,line,column,rule,message,fixable},...]} — one
+/// top-level object, stable key order.
+std::string ToJson(const std::vector<Violation>& violations);
+
+/// SARIF 2.1.0 document (one run, driver "isum_lint", every known rule
+/// listed, one result per violation). Consumed by the CI lint job's SARIF
+/// upload.
+std::string ToSarif(const std::vector<Violation>& violations);
 
 }  // namespace isum::lint
 

@@ -1,7 +1,8 @@
 // isum_lint: repo-specific static checks for the ISUM library sources.
 //
 // Usage:
-//   isum_lint [--list-rules] <dir-or-file>...
+//   isum_lint [--list-rules] [--format=text|json|sarif] [--fix]
+//             <dir-or-file>...
 //
 // Scans the given directories (recursively; .h/.cc files) in two passes:
 // first collects Status/StatusOr-returning API names from headers, then
@@ -11,12 +12,19 @@
 // with `// NOLINT(isum-rule)` on the offending line or
 // `// NOLINTNEXTLINE(isum-rule)` on the line above, with a justification.
 //
+// --format=json|sarif writes one machine-readable document to stdout (the
+// human summary moves to stderr); SARIF is what the CI lint job uploads.
+// --fix applies the mechanical FixIts (include-guard renames, isum-guarded-by
+// type swaps) in place, then reports what remains; the exit code reflects
+// only the unfixed findings.
+//
 // This binary is a developer tool, not library code; it may use stdio.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +61,8 @@ std::string DisplayPath(const fs::path& p) {
 
 int main(int argc, char** argv) {
   std::vector<fs::path> roots;
+  std::string format = "text";
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -62,8 +72,27 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: isum_lint [--list-rules] <dir-or-file>...\n");
+      std::printf(
+          "usage: isum_lint [--list-rules] [--format=text|json|sarif] "
+          "[--fix] <dir-or-file>...\n");
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "isum_lint: unknown --format=%s\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--fix") {
+      fix = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "isum_lint: unknown flag %s\n", arg.c_str());
+      return 2;
     }
     roots.emplace_back(arg);
   }
@@ -98,18 +127,59 @@ int main(int argc, char** argv) {
 
   // Pass 2: lint.
   std::vector<isum::lint::Violation> violations;
+  std::map<std::string, fs::path> display_to_path;
   for (const fs::path& f : files) {
-    isum::lint::LintFile(DisplayPath(f), ReadFile(f), api, &violations);
+    const std::string display = DisplayPath(f);
+    display_to_path[display] = f;
+    isum::lint::LintFile(display, ReadFile(f), api, &violations);
   }
 
-  for (const auto& v : violations) {
-    std::printf("%s\n", v.ToString().c_str());
+  // --fix: apply the mechanical fixes file by file, then drop the fixed
+  // violations from the report (what remains needs a human).
+  if (fix) {
+    size_t fixed = 0;
+    std::map<std::string, std::vector<isum::lint::Violation>> by_file;
+    for (const auto& v : violations) {
+      if (!v.fixes.empty()) by_file[v.file].push_back(v);
+    }
+    for (const auto& [display, fixable] : by_file) {
+      const fs::path& p = display_to_path[display];
+      const std::string before = ReadFile(p);
+      const std::string after = isum::lint::ApplyFixes(before, fixable);
+      if (after == before) continue;
+      std::ofstream outf(p, std::ios::binary | std::ios::trunc);
+      outf << after;
+      fixed += fixable.size();
+    }
+    if (fixed > 0) {
+      std::fprintf(stderr, "isum_lint: fixed %zu violation(s) in %zu file(s)\n",
+                   fixed, by_file.size());
+    }
+    std::vector<isum::lint::Violation> remaining;
+    for (auto& v : violations) {
+      if (v.fixes.empty()) remaining.push_back(std::move(v));
+    }
+    violations = std::move(remaining);
+  }
+
+  if (format == "json") {
+    std::printf("%s\n", isum::lint::ToJson(violations).c_str());
+  } else if (format == "sarif") {
+    std::printf("%s\n", isum::lint::ToSarif(violations).c_str());
+  } else {
+    for (const auto& v : violations) {
+      std::printf("%s\n", v.ToString().c_str());
+    }
   }
   if (!violations.empty()) {
     std::fprintf(stderr, "isum_lint: %zu violation(s) in %zu file(s) scanned\n",
                  violations.size(), files.size());
     return 1;
   }
-  std::printf("isum_lint: %zu file(s) clean\n", files.size());
+  if (format == "text") {
+    std::printf("isum_lint: %zu file(s) clean\n", files.size());
+  } else {
+    std::fprintf(stderr, "isum_lint: %zu file(s) clean\n", files.size());
+  }
   return 0;
 }
