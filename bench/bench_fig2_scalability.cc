@@ -23,18 +23,6 @@ using namespace isum;
 
 namespace {
 
-// FNV-1a over the selected indices: equal selections <=> equal hashes, so
-// trajectory entries can assert "compression quality unchanged" across
-// revisions without storing the full selection.
-uint64_t SelectionHash(const std::vector<size_t>& selected) {
-  uint64_t h = 1469598103934665603ull;
-  for (size_t index : selected) {
-    h ^= static_cast<uint64_t>(index);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return true;
@@ -92,10 +80,16 @@ int main(int argc, char** argv) {
         {"selected", static_cast<double>(compressed.entries.size())},
         {"benefit_sum", benefit_sum},
     };
+    // FNV-1a over the selected indices (obs::SelectionOrderHash — the same
+    // definition journal compress_end events carry): equal selections <=>
+    // equal hashes, so trajectory entries can assert "compression quality
+    // unchanged" across revisions without storing the full selection, and
+    // `tracecat explain` can match a journal against this record.
     run.strings = {
         {"selection_hash",
-         StrFormat("%016llx", static_cast<unsigned long long>(
-                                  SelectionHash(selection.selected)))},
+         StrFormat("%016llx",
+                   static_cast<unsigned long long>(obs::SelectionOrderHash(
+                       selection.selected.data(), selection.selected.size())))},
     };
     bench::BenchJson::Global().AddRun(std::move(run));
   }

@@ -28,6 +28,8 @@
 #include "eval/pipeline.h"
 #include "eval/reporting.h"
 #include "obs/export.h"
+#include "obs/exporter.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/workload_factory.h"
@@ -112,6 +114,19 @@ inline uint64_t PeakRssBytes() {
 ///                      the tracer for the run even without --trace=
 ///   --bench-label=<s>  label stored in the bench JSON record (defaults to
 ///                      "run"); trajectories use e.g. "pre-campaign"
+///   --journal=<path>   open the decision-provenance journal for the run
+///                      (isum-events-v1 JSONL, src/obs/journal.h); closed
+///                      with `journal_end` at exit. `tracecat explain`
+///                      reconstructs the run from it
+///   --serve-metrics=<p> serve live registry snapshots over HTTP on
+///                      127.0.0.1:<p> while the run executes (GET /metrics
+///                      = Prometheus text, GET /healthz); 0 picks an
+///                      ephemeral port (printed to stderr). Poll it with
+///                      `tracecat watch --url=...`
+///   --metrics-snapshot=<path> rewrite a Prometheus-text snapshot file once
+///                      per second (and finally at exit) — the air-gapped
+///                      companion of --serve-metrics for CI artifacts and
+///                      `tracecat watch <path>`
 ///
 /// Files are written from the destructor, after the driver's work joined.
 class ObsScope {
@@ -120,8 +135,10 @@ class ObsScope {
     obs::Tracer::Global().SetCurrentThreadName("main");
     int kept = 1;
     std::string faults_spec;
+    std::string metrics_snapshot_path;
     double time_budget_seconds = 0.0;
     uint64_t trace_every = 1;
+    int serve_metrics_port = -1;
     bench_name_ = argc > 0 ? BaseName(argv[0]) : "bench";
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
@@ -135,6 +152,12 @@ class ObsScope {
         bench_json_path_ = arg + 13;
       } else if (std::strncmp(arg, "--bench-label=", 14) == 0) {
         bench_label_ = arg + 14;
+      } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+        journal_path_ = arg + 10;
+      } else if (std::strncmp(arg, "--serve-metrics=", 16) == 0) {
+        serve_metrics_port = static_cast<int>(std::strtol(arg + 16, nullptr, 10));
+      } else if (std::strncmp(arg, "--metrics-snapshot=", 19) == 0) {
+        metrics_snapshot_path = arg + 19;
       } else if (std::strncmp(arg, "--faults=", 9) == 0) {
         faults_spec = arg + 9;
       } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
@@ -167,6 +190,32 @@ class ObsScope {
     if (!trace_path_.empty() || !bench_json_path_.empty()) {
       obs::Tracer::Global().Enable();
     }
+    if (!journal_path_.empty()) {
+      const std::string label =
+          bench_label_ != "run" ? bench_label_ : bench_name_;
+      if (!obs::Journal::Global().Open(journal_path_, label)) {
+        std::fprintf(stderr, "cannot open --journal=%s\n",
+                     journal_path_.c_str());
+        std::exit(2);
+      }
+    }
+    if (serve_metrics_port >= 0 || !metrics_snapshot_path.empty()) {
+      obs::MetricsExporterOptions exporter_options;
+      exporter_options.http_port = serve_metrics_port;
+      exporter_options.snapshot_path = std::move(metrics_snapshot_path);
+      exporter_ = std::make_unique<obs::MetricsExporter>(
+          &obs::MetricsRegistry::Global(), std::move(exporter_options));
+      const Status status = exporter_->Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics exporter: %s\n",
+                     status.ToString().c_str());
+        std::exit(2);
+      }
+      if (serve_metrics_port >= 0) {
+        std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
+                     exporter_->port());
+      }
+    }
     start_ = std::chrono::steady_clock::now();
   }
 
@@ -175,6 +224,16 @@ class ObsScope {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    // Shut down the exporter first (joins its worker and writes the final
+    // snapshot), then close the journal so `journal_end` is the last event.
+    exporter_.reset();
+    if (!journal_path_.empty()) {
+      const uint64_t events = obs::Journal::Global().events_written();
+      obs::Journal::Global().Close();
+      std::fprintf(stderr, "wrote %llu journal events to %s\n",
+                   static_cast<unsigned long long>(events + 1),
+                   journal_path_.c_str());
+    }
     obs::TraceDump dump;
     if (!trace_path_.empty() || !bench_json_path_.empty()) {
       obs::Tracer::Global().Disable();
@@ -311,6 +370,8 @@ class ObsScope {
   std::string bench_json_path_;
   std::string bench_label_ = "run";
   std::string bench_name_;
+  std::string journal_path_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
   std::chrono::steady_clock::time_point start_;
 };
 

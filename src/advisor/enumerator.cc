@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -54,12 +55,21 @@ EnumerationResult GreedyEnumerate(
     const std::vector<engine::Index>& pool, int max_indexes,
     uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
     const TimeBudget& budget, int num_threads) {
-  ISUM_TRACE_SPAN("advisor/enumerate");
+  ISUM_TRACE_SPAN_VAR(span, "advisor/enumerate");
+  span.Arg("pool", static_cast<uint64_t>(pool.size()))
+      .Arg("max_indexes", max_indexes)
+      .Arg("queries", static_cast<uint64_t>(queries.size()));
   static obs::Counter* const rounds_counter =
       obs::MetricsRegistry::Global().GetCounter("advisor.enumeration_rounds");
   static obs::Counter* const explored_counter =
       obs::MetricsRegistry::Global().GetCounter(
           "advisor.configurations_explored");
+  // Process-wide what-if counters, sampled per round so journal enum_round
+  // events can attribute this round's cache hits and optimizer calls.
+  static obs::Counter* const whatif_calls_counter =
+      obs::MetricsRegistry::Global().GetCounter("whatif.optimizer_calls");
+  static obs::Counter* const whatif_hits_counter =
+      obs::MetricsRegistry::Global().GetCounter("whatif.cache_hits");
   EnumerationResult result;
 
   // Per-query current cost under the growing (initially empty) configuration.
@@ -76,6 +86,11 @@ EnumerationResult GreedyEnumerate(
       result.stop_reason = TimeBudget::ReasonFor(c.status());
       result.initial_cost = total_cost;
       result.final_cost = total_cost;
+      if (obs::Journal::Global().enabled()) {
+        obs::Journal::Global().EnumEnd(
+            result.configuration.size(), result.initial_cost,
+            result.final_cost, StopReasonToString(result.stop_reason));
+      }
       return result;
     }
     current_cost[i] = *c;
@@ -90,6 +105,7 @@ EnumerationResult GreedyEnumerate(
 
   std::vector<bool> used(pool.size(), false);
   uint64_t used_storage = 0;
+  uint64_t round_index = 0;
 
   while (static_cast<int>(result.configuration.size()) < max_indexes) {
     const Status round_check = budget.CheckCancelled();
@@ -116,6 +132,8 @@ EnumerationResult GreedyEnumerate(
     rounds_counter->Add(1);
     explored_counter->Add(eligible.size());
     result.configurations_explored += eligible.size();
+    const uint64_t round_calls_before = whatif_calls_counter->Value();
+    const uint64_t round_hits_before = whatif_hits_counter->Value();
 
     // When a budget is attached, candidate evaluations run under a per-round
     // child token: the first worker to observe expiry/cancellation fires it,
@@ -184,6 +202,13 @@ EnumerationResult GreedyEnumerate(
     if (best_e == eligible.size()) break;
 
     const size_t best_i = eligible[best_e];
+    if (obs::Journal::Global().enabled()) {
+      obs::Journal::Global().EnumRound(
+          round_index, eligible.size(), best_i, best_improvement,
+          whatif_hits_counter->Value() - round_hits_before,
+          whatif_calls_counter->Value() - round_calls_before);
+    }
+    ++round_index;
     used[best_i] = true;
     used_storage += pool[best_i].SizeBytes(catalog);
     result.configuration.Add(pool[best_i]);
@@ -192,6 +217,11 @@ EnumerationResult GreedyEnumerate(
   }
 
   result.final_cost = total_cost;
+  if (obs::Journal::Global().enabled()) {
+    obs::Journal::Global().EnumEnd(result.configuration.size(),
+                                   result.initial_cost, result.final_cost,
+                                   StopReasonToString(result.stop_reason));
+  }
   return result;
 }
 

@@ -1,7 +1,9 @@
 #ifndef ISUM_COMMON_MUTEX_H_
 #define ISUM_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
@@ -86,6 +88,15 @@ class CondVar {
   /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
   /// Spurious wakeups happen; always wait in a predicate loop.
   void Wait(Mutex& mu) ISUM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed Wait(): blocks for at most `nanos`. Returns true when notified,
+  /// false on timeout; either way `mu` is held again on return. Like
+  /// Wait(), use in a predicate loop — periodic workers (MetricsExporter)
+  /// wait on a stop flag with the period as the timeout.
+  bool WaitForNanos(Mutex& mu, uint64_t nanos) ISUM_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::nanoseconds(nanos)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

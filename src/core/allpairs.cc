@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "obs/journal.h"
 
 namespace isum::core {
 
@@ -15,9 +16,12 @@ namespace {
 constexpr size_t kArgmaxShardSize = 256;
 
 /// Winner of one shard's scan: the first candidate (in eligible order)
-/// attaining the shard's maximum conditional benefit.
+/// attaining the shard's maximum conditional benefit, plus the shard's
+/// runner-up benefit so the global reduce can report the winning margin
+/// (journal `select` events) without a second scan.
 struct ShardBest {
   double benefit = -1.0;
+  double second = -1.0;
   size_t query = 0;
   bool filled = false;
 };
@@ -81,9 +85,12 @@ SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
         }
         const double benefit = state.utility(i) + influence;
         if (!best.filled || benefit > best.benefit) {
+          best.second = best.benefit;
           best.benefit = benefit;
           best.query = i;
           best.filled = true;
+        } else if (benefit > best.second) {
+          best.second = benefit;
         }
       }
       shard_best[shard] = best;
@@ -112,14 +119,29 @@ SelectionResult AllPairsGreedySelect(CompressionState& state, size_t k,
     }
 
     // Reduce in shard order with a strict comparison: identical to the
-    // serial first-occurrence argmax for any shard/thread layout.
+    // serial first-occurrence argmax for any shard/thread layout. The
+    // runner-up benefit rides along for decision provenance; it never
+    // influences the pick.
     double max_benefit = -1.0;
+    double runner_up = -1.0;
     size_t best = eligible.front();
-    for (const ShardBest& b : shard_best) {
+    size_t best_shard = 0;
+    for (size_t shard = 0; shard < shard_best.size(); ++shard) {
+      const ShardBest& b = shard_best[shard];
       if (b.benefit > max_benefit) {
+        runner_up = std::max(max_benefit, b.second);
         max_benefit = b.benefit;
         best = b.query;
+        best_shard = shard;
+      } else if (b.benefit > runner_up) {
+        runner_up = b.benefit;
       }
+    }
+    if (obs::Journal::Global().enabled()) {
+      obs::Journal::Global().SelectRound(
+          result.selected.size(), best, max_benefit,
+          runner_up < 0.0 ? -1.0 : max_benefit - runner_up, best_shard,
+          eligible.size());
     }
     result.selected.push_back(best);
     result.selection_benefits.push_back(max_benefit);

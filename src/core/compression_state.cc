@@ -1,5 +1,7 @@
 #include "core/compression_state.h"
 
+#include "obs/journal.h"
+
 namespace isum::core {
 
 CompressionState::CompressionState(const workload::Workload& workload,
@@ -54,6 +56,11 @@ bool CompressionState::AllUnselectedZeroed() const {
 }
 
 void CompressionState::ResetUnselectedFeatures() {
+  if (obs::Journal::Global().enabled()) {
+    size_t selected_so_far = 0;
+    for (const bool s : selected_) selected_so_far += s ? 1 : 0;
+    obs::Journal::Global().FeatureReset(selected_so_far);
+  }
   for (size_t i = 0; i < features_.size(); ++i) {
     if (!selected_[i]) features_[i] = original_features_[i];
   }

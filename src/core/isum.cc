@@ -1,11 +1,22 @@
 #include "core/isum.h"
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace isum::core {
 
 namespace {
+
+const char* AlgorithmName(SelectionAlgorithm algorithm) {
+  switch (algorithm) {
+    case SelectionAlgorithm::kAllPairs:
+      return "all-pairs";
+    case SelectionAlgorithm::kSummaryFeatures:
+      return "summary-features";
+  }
+  return "unknown";
+}
 
 struct CompressMetrics {
   obs::Counter* runs;
@@ -26,19 +37,39 @@ struct CompressMetrics {
 SelectionResult RunSelection(CompressionState& state, size_t k,
                              const IsumOptions& options,
                              const TimeBudget& budget) {
-  ISUM_TRACE_SPAN("compress/greedy-pick");
+  ISUM_TRACE_SPAN_VAR(span, "compress/greedy-pick");
+  span.Arg("k", static_cast<uint64_t>(k))
+      .Arg("algorithm", AlgorithmName(options.algorithm))
+      .Arg("threads", options.num_threads);
+  obs::Journal& journal = obs::Journal::Global();
+  if (journal.enabled()) {
+    journal.CompressBegin(state.size(), k, AlgorithmName(options.algorithm),
+                          static_cast<uint64_t>(options.num_threads));
+  }
+  SelectionResult result;
   switch (options.algorithm) {
     case SelectionAlgorithm::kAllPairs: {
       if (options.num_threads > 1) {
         ThreadPool pool(static_cast<size_t>(options.num_threads));
-        return AllPairsGreedySelect(state, k, options.update, budget, &pool);
+        result = AllPairsGreedySelect(state, k, options.update, budget, &pool);
+      } else {
+        result = AllPairsGreedySelect(state, k, options.update, budget);
       }
-      return AllPairsGreedySelect(state, k, options.update, budget);
+      break;
     }
     case SelectionAlgorithm::kSummaryFeatures:
-      return SummaryGreedySelect(state, k, options.update, budget);
+      result = SummaryGreedySelect(state, k, options.update, budget);
+      break;
   }
-  return {};
+  if (journal.enabled()) {
+    double benefit_sum = 0.0;
+    for (const double b : result.selection_benefits) benefit_sum += b;
+    journal.CompressEnd(result.selected.size(),
+                        obs::SelectionOrderHash(result.selected.data(),
+                                                result.selected.size()),
+                        benefit_sum, StopReasonToString(result.stop_reason));
+  }
+  return result;
 }
 
 }  // namespace
@@ -79,7 +110,8 @@ workload::CompressedWorkload Isum::Compress(size_t k) const {
   out.stop_reason = selection.stop_reason;
   out.entries.reserve(selection.selected.size());
   for (size_t i = 0; i < selection.selected.size(); ++i) {
-    out.entries.push_back({selection.selected[i], weights[i]});
+    out.entries.push_back({selection.selected[i], weights[i],
+                           selection.selection_benefits[i]});
   }
   metrics.selected_queries->Add(out.entries.size());
   return out;

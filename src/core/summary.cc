@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "obs/journal.h"
 
 namespace isum::core {
 
@@ -110,7 +111,10 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
     double summary_total = 0.0;
     for (double v : summary) summary_total += v;
 
+    // The runner-up benefit rides along for the journal's winning-margin
+    // field; it never influences the pick.
     double max_benefit = -1.0;
+    double runner_up = -1.0;
     size_t best = eligible.front();
     for (size_t i : eligible) {
       const double benefit =
@@ -119,9 +123,19 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
                                                    total_utility, summary,
                                                    summary_total);
       if (benefit > max_benefit) {
+        runner_up = max_benefit;
         max_benefit = benefit;
         best = i;
+      } else if (benefit > runner_up) {
+        runner_up = benefit;
       }
+    }
+    if (obs::Journal::Global().enabled()) {
+      // Serial argmax: no shards, so the shard field is always 0.
+      obs::Journal::Global().SelectRound(
+          result.selected.size(), best, max_benefit,
+          runner_up < 0.0 ? -1.0 : max_benefit - runner_up, /*shard=*/0,
+          eligible.size());
     }
     result.selected.push_back(best);
     result.selection_benefits.push_back(max_benefit);

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/rng.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace isum::engine {
@@ -76,6 +77,9 @@ StatusOr<double> WhatIfOptimizer::TryCost(const sql::BoundQuery& query,
     const Status fault = ISUM_FAULT_POINT("whatif.cost");
     if (fault.ok()) break;
     if (fault.code() != StatusCode::kUnavailable || attempt >= max_attempts) {
+      // Surfaced to the caller: persistent failure or retries exhausted.
+      obs::Journal::Global().Fault("whatif.cost",
+                                   StatusCodeToString(fault.code()));
       return fault;
     }
     retry_attempts_.Add(1);
@@ -83,6 +87,8 @@ StatusOr<double> WhatIfOptimizer::TryCost(const sql::BoundQuery& query,
     uint64_t backoff = BackoffNanos(retry_policy_, attempt);
     // Never sleep past the deadline; re-check the budget after waking.
     backoff = std::min(backoff, budget.deadline().remaining_nanos());
+    obs::Journal::Global().Retry("whatif.cost",
+                                 static_cast<uint64_t>(attempt), backoff);
     if (backoff > 0) SleepForNanos(backoff);
     ISUM_RETURN_IF_ERROR(budget.CheckCancelled());
   }

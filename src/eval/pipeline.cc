@@ -2,6 +2,7 @@
 
 #include "common/deadline.h"
 #include "engine/optimizer.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace isum::eval {
@@ -52,6 +53,27 @@ EvaluationResult RunPipeline(const workload::Workload& workload,
                            : result.tuning.stop_reason;
   result.metrics = obs::MetricsSnapshot::Delta(
       before, obs::MetricsRegistry::Global().Snapshot());
+  obs::Journal& journal = obs::Journal::Global();
+  if (journal.enabled()) {
+    // Post-eval attribution: for every selected query, the benefit greedy
+    // selection estimated vs. the cost reduction the recommended
+    // configuration realized on it (base cost minus cost under the final
+    // configuration, weighted like the tuner saw it).
+    engine::Optimizer optimizer(workload.env().cost_model);
+    for (const auto& e : compressed.entries) {
+      const workload::QueryInfo& q = workload.query(e.query_index);
+      const double realized =
+          q.base_cost -
+          optimizer.Cost(q.bound, result.tuning.configuration);
+      journal.Attribution(e.query_index, e.weight, e.selection_benefit,
+                          realized);
+    }
+    // PipelineEnd flushes eagerly when stop_reason is abnormal, so a
+    // deadline-killed run still leaves a complete journal on disk.
+    journal.PipelineEnd(result.algorithm.c_str(), result.k,
+                        result.improvement_percent,
+                        StopReasonToString(result.stop_reason));
+  }
   return result;
 }
 

@@ -23,6 +23,47 @@ std::string ThreadName(const TraceDump& dump, uint32_t tid) {
   return StrFormat("thread-%u", tid);
 }
 
+/// The span's typed args as JSON object fields (",\"k\":50,...") appended
+/// after the "depth" field both exporters lead with.
+std::string SpanArgsJson(const SpanRecord& span) {
+  std::string out;
+  const uint32_t n =
+      std::min<uint32_t>(span.num_args, SpanRecord::kMaxArgs);
+  for (uint32_t i = 0; i < n; ++i) {
+    const SpanArg& arg = span.args[i];
+    if (arg.key == nullptr) continue;
+    switch (arg.kind) {
+      case SpanArg::Kind::kInt:
+        out += StrFormat(",\"%s\":%lld", JsonEscape(arg.key).c_str(),
+                         static_cast<long long>(arg.int_value));
+        break;
+      case SpanArg::Kind::kDouble:
+        out += StrFormat(",\"%s\":%.9g", JsonEscape(arg.key).c_str(),
+                         arg.double_value);
+        break;
+      case SpanArg::Kind::kString:
+        out += StrFormat(
+            ",\"%s\":\"%s\"", JsonEscape(arg.key).c_str(),
+            JsonEscape(arg.string_value != nullptr ? arg.string_value : "")
+                .c_str());
+        break;
+    }
+  }
+  return out;
+}
+
+/// Metric name in the Prometheus exposition alphabet: [a-zA-Z0-9_] with the
+/// repo-wide `isum_` prefix ("whatif.cache_hits" -> "isum_whatif_cache_hits").
+std::string PrometheusName(const std::string& name) {
+  std::string out = "isum_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const TraceDump& dump) {
@@ -42,10 +83,10 @@ std::string ChromeTraceJson(const TraceDump& dump) {
   for (const SpanRecord& span : dump.spans) {
     append(StrFormat(
         "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-        "\"cat\":\"isum\",\"ts\":%s,\"dur\":%s,\"args\":{\"depth\":%u}}",
+        "\"cat\":\"isum\",\"ts\":%s,\"dur\":%s,\"args\":{\"depth\":%u%s}}",
         span.tid, JsonEscape(span.name).c_str(),
         Micros(span.start_nanos).c_str(), Micros(span.dur_nanos).c_str(),
-        span.depth));
+        span.depth, SpanArgsJson(span).c_str()));
   }
   out += "\n]\n";
   return out;
@@ -54,12 +95,19 @@ std::string ChromeTraceJson(const TraceDump& dump) {
 std::string SpansJsonl(const TraceDump& dump) {
   std::string out;
   for (const SpanRecord& span : dump.spans) {
+    // Args render as a nested object only when present, so span lines
+    // without args keep their historical shape.
+    const std::string args = SpanArgsJson(span);
+    const std::string args_field =
+        args.empty() ? std::string()
+                     : StrFormat(",\"args\":{%s}", args.substr(1).c_str());
     out += StrFormat(
         "{\"type\":\"span\",\"name\":\"%s\",\"tid\":%u,\"thread\":\"%s\","
-        "\"depth\":%u,\"start_us\":%s,\"dur_us\":%s}\n",
+        "\"depth\":%u,\"start_us\":%s,\"dur_us\":%s%s}\n",
         JsonEscape(span.name).c_str(), span.tid,
         JsonEscape(ThreadName(dump, span.tid)).c_str(), span.depth,
-        Micros(span.start_nanos).c_str(), Micros(span.dur_nanos).c_str());
+        Micros(span.start_nanos).c_str(), Micros(span.dur_nanos).c_str(),
+        args_field.c_str());
   }
   return out;
 }
@@ -81,6 +129,36 @@ std::string MetricsJsonl(const MetricsSnapshot& snapshot) {
         "\"sum\":%llu,\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}\n",
         JsonEscape(h.name).c_str(), static_cast<unsigned long long>(h.count),
         static_cast<unsigned long long>(h.sum), h.p50, h.p95, h.p99);
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n", prom.c_str());
+    out += StrFormat("%s %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n", prom.c_str());
+    out += StrFormat("%s %.6g\n", prom.c_str(), value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    // Log-scale histograms export as precomputed-quantile summaries: the
+    // native bucket boundaries are not cumulative `le` thresholds, and the
+    // registry already answers p50/p95/p99 from them.
+    const std::string prom = PrometheusName(h.name);
+    out += StrFormat("# TYPE %s summary\n", prom.c_str());
+    out += StrFormat("%s{quantile=\"0.5\"} %.6g\n", prom.c_str(), h.p50);
+    out += StrFormat("%s{quantile=\"0.95\"} %.6g\n", prom.c_str(), h.p95);
+    out += StrFormat("%s{quantile=\"0.99\"} %.6g\n", prom.c_str(), h.p99);
+    out += StrFormat("%s_sum %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(h.sum));
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(h.count));
   }
   return out;
 }

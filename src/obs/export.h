@@ -33,6 +33,14 @@ std::string SpansJsonl(const TraceDump& dump);
 /// Renders `snapshot` as metrics JSONL.
 std::string MetricsJsonl(const MetricsSnapshot& snapshot);
 
+/// Renders `snapshot` in Prometheus/OpenMetrics text exposition format:
+/// counters and gauges as `isum_<name> <value>` samples, histograms as
+/// summaries (quantile-labelled samples plus _sum/_count). Metric names are
+/// sanitized (`.` and other non-identifier bytes become `_`) and prefixed
+/// `isum_`. Served by MetricsExporter (obs/exporter.h) and written as
+/// air-gapped snapshot files; parsed back by tracecat watch.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
 /// Writes `content` to `path` (helper shared by the bench drivers).
 Status WriteFile(const std::string& path, const std::string& content);
 

@@ -1,0 +1,318 @@
+#include "obs/journal.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstring>
+
+namespace isum::obs {
+
+namespace {
+
+/// Minimum journal-clock distance between two budget_tick events. Budget
+/// polls fire per round *and* per what-if call; the timeline only needs
+/// coarse consumption samples.
+constexpr uint64_t kBudgetTickPeriodNanos = 250'000'000;  // 250ms
+
+/// Journal lines are bounded: static event names plus numeric fields. The
+/// only variable-length field is the Open() label, escaped and truncated
+/// into its own bounded buffer.
+constexpr size_t kLineCapacity = 512;
+
+/// printf into `buf` at `*len`, saturating at the capacity (a truncated
+/// line is still NUL-terminated; callers emit what fits).
+void AppendF(char* buf, size_t* len, const char* fmt, ...) {
+  if (*len >= kLineCapacity) return;
+  va_list args;
+  va_start(args, fmt);
+  const int n =
+      std::vsnprintf(buf + *len, kLineCapacity - *len, fmt, args);
+  va_end(args);
+  if (n > 0) {
+    *len += static_cast<size_t>(n);
+    if (*len > kLineCapacity) *len = kLineCapacity;
+  }
+}
+
+/// JSON string escape into a bounded buffer (quotes, backslash, control
+/// bytes). Journal strings are labels and static identifiers; anything
+/// exotic is escaped rather than trusted.
+void EscapeInto(const std::string& s, char* out, size_t capacity) {
+  size_t len = 0;
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (len + 8 >= capacity) break;
+    if (c == '"' || c == '\\') {
+      out[len++] = '\\';
+      out[len++] = static_cast<char>(c);
+    } else if (c < 0x20) {
+      len += static_cast<size_t>(
+          std::snprintf(out + len, capacity - len, "\\u%04x", c));
+    } else {
+      out[len++] = static_cast<char>(c);
+    }
+  }
+  out[len] = '\0';
+}
+
+}  // namespace
+
+Journal& Journal::Global() {
+  static Journal* journal = new Journal();
+  return *journal;
+}
+
+uint64_t Journal::NowNanos() const {
+  const ClockFn fn = clock_.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Journal::Open(const std::string& path, const std::string& label) {
+  // fopen before the lock: isum-lock-scope forbids I/O setup in a critical
+  // section, and a failed open must leave an already-open journal intact.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  {
+    MutexLock lock(mu_);
+    if (file_ != nullptr) CloseLocked();
+    file_ = file;
+    seq_ = 0;
+    open_nanos_ = NowNanos();
+  }
+  events_written_.store(0, std::memory_order_relaxed);
+  last_tick_nanos_.store(0, std::memory_order_relaxed);
+  last_stop_reason_.store(nullptr, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+
+  char escaped[256];
+  EscapeInto(label, escaped, sizeof(escaped));
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len, ",\"schema\":\"isum-events-v1\",\"label\":\"%s\"",
+          escaped);
+  EmitLine("journal_begin", body, /*flush=*/true);
+  return true;
+}
+
+void Journal::CloseLocked() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void Journal::Close() {
+  if (!enabled()) return;
+  EmitLine("journal_end", "", /*flush=*/true);
+  enabled_.store(false, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  CloseLocked();
+}
+
+void Journal::Flush() {
+  if (!enabled()) return;
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void Journal::EmitLine(const char* event, const char* body, bool flush) {
+  if (!enabled()) return;
+  const uint64_t now = NowNanos();
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return;
+  const uint64_t rel = now >= open_nanos_ ? now - open_nanos_ : 0;
+  char line[kLineCapacity + 64];
+  size_t len = 0;
+  line[0] = '\0';
+  // A second bounded printf pass over the (already bounded) body: the
+  // prefix fields are common to every event.
+  const int n = std::snprintf(
+      line, sizeof(line),
+      "{\"event\":\"%s\",\"seq\":%" PRIu64 ",\"t_us\":%" PRIu64 ".%03" PRIu64
+      "%s}\n",
+      event, seq_, rel / 1000, rel % 1000, body);
+  if (n > 0) len = static_cast<size_t>(n) < sizeof(line)
+                       ? static_cast<size_t>(n)
+                       : sizeof(line) - 1;
+  std::fwrite(line, 1, len, file_);
+  ++seq_;
+  events_written_.fetch_add(1, std::memory_order_relaxed);
+  if (flush) std::fflush(file_);
+}
+
+void Journal::CompressBegin(uint64_t n_queries, uint64_t k,
+                            const char* algorithm, uint64_t threads) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"n\":%" PRIu64 ",\"k\":%" PRIu64
+          ",\"algorithm\":\"%s\",\"threads\":%" PRIu64,
+          n_queries, k, algorithm, threads);
+  EmitLine("compress_begin", body, /*flush=*/false);
+}
+
+void Journal::SelectRound(uint64_t round, uint64_t query, double benefit,
+                          double gap, uint64_t shard, uint64_t eligible) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"round\":%" PRIu64 ",\"query\":%" PRIu64
+          ",\"benefit\":%.9g,\"gap\":%.9g,\"shard\":%" PRIu64
+          ",\"eligible\":%" PRIu64,
+          round, query, benefit, gap, shard, eligible);
+  EmitLine("select", body, /*flush=*/false);
+}
+
+void Journal::FeatureReset(uint64_t selected_so_far) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len, ",\"selected\":%" PRIu64, selected_so_far);
+  EmitLine("feature_reset", body, /*flush=*/false);
+}
+
+void Journal::CompressEnd(uint64_t selected, uint64_t selection_hash,
+                          double benefit_sum, const char* stop_reason) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"selected\":%" PRIu64
+          ",\"selection_hash\":\"%016" PRIx64
+          "\",\"benefit_sum\":%.9g,\"stop_reason\":\"%s\"",
+          selected, selection_hash, benefit_sum, stop_reason);
+  EmitLine("compress_end", body,
+           /*flush=*/std::strcmp(stop_reason, "complete") != 0);
+}
+
+void Journal::EnumRound(uint64_t round, uint64_t candidates,
+                        uint64_t best_index, double best_improvement,
+                        uint64_t cache_hits, uint64_t optimizer_calls) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"round\":%" PRIu64 ",\"candidates\":%" PRIu64
+          ",\"best_index\":%" PRIu64
+          ",\"improvement\":%.9g,\"cache_hits\":%" PRIu64
+          ",\"optimizer_calls\":%" PRIu64,
+          round, candidates, best_index, best_improvement, cache_hits,
+          optimizer_calls);
+  EmitLine("enum_round", body, /*flush=*/false);
+}
+
+void Journal::EnumEnd(uint64_t config_size, double initial_cost,
+                      double final_cost, const char* stop_reason) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"indexes\":%" PRIu64
+          ",\"initial_cost\":%.9g,\"final_cost\":%.9g,\"stop_reason\":\"%s\"",
+          config_size, initial_cost, final_cost, stop_reason);
+  EmitLine("enum_end", body,
+           /*flush=*/std::strcmp(stop_reason, "complete") != 0);
+}
+
+void Journal::Retry(const char* site, uint64_t attempt,
+                    uint64_t backoff_nanos) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"site\":\"%s\",\"attempt\":%" PRIu64 ",\"backoff_us\":%" PRIu64
+          ".%03" PRIu64,
+          site, attempt, backoff_nanos / 1000, backoff_nanos % 1000);
+  EmitLine("retry", body, /*flush=*/false);
+}
+
+void Journal::Fault(const char* site, const char* code) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len, ",\"site\":\"%s\",\"code\":\"%s\"", site, code);
+  EmitLine("fault", body, /*flush=*/true);
+}
+
+void Journal::BudgetTick(double remaining_seconds) {
+  if (!enabled()) return;
+  // Rate limit: one tick per period, first observer wins. compare_exchange
+  // keeps concurrent pollers from double-emitting the same window.
+  const uint64_t now = NowNanos();
+  uint64_t last = last_tick_nanos_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < kBudgetTickPeriodNanos) return;
+  if (!last_tick_nanos_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+    return;
+  }
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len, ",\"remaining_s\":%.6f", remaining_seconds);
+  EmitLine("budget_tick", body, /*flush=*/false);
+}
+
+void Journal::BudgetStop(const char* reason) {
+  if (!enabled()) return;
+  // Deduplicate consecutive identical reasons: stages keep polling an
+  // expired budget, but the *transition* is the event. StopReasonToString
+  // returns static strings, so identity comparison suffices.
+  const char* last = last_stop_reason_.load(std::memory_order_relaxed);
+  if (last == reason) return;
+  if (!last_stop_reason_.compare_exchange_strong(last, reason,
+                                                 std::memory_order_relaxed)) {
+    return;
+  }
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len, ",\"reason\":\"%s\"", reason);
+  EmitLine("budget_stop", body, /*flush=*/true);
+}
+
+void Journal::Attribution(uint64_t query, double weight,
+                          double estimated_benefit, double realized_benefit) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"query\":%" PRIu64
+          ",\"weight\":%.9g,\"estimated\":%.9g,\"realized\":%.9g",
+          query, weight, estimated_benefit, realized_benefit);
+  EmitLine("attribution", body, /*flush=*/false);
+}
+
+void Journal::PipelineEnd(const char* algorithm, uint64_t k,
+                          double improvement_percent,
+                          const char* stop_reason) {
+  if (!enabled()) return;
+  char escaped[128];
+  EscapeInto(algorithm, escaped, sizeof(escaped));
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"algorithm\":\"%s\",\"k\":%" PRIu64
+          ",\"improvement_percent\":%.9g,\"stop_reason\":\"%s\"",
+          escaped, k, improvement_percent, stop_reason);
+  EmitLine("pipeline_end", body,
+           /*flush=*/std::strcmp(stop_reason, "complete") != 0);
+}
+
+}  // namespace isum::obs

@@ -113,6 +113,8 @@ void TraceSpan::End() {
   record.depth = depth_;
   record.start_nanos = start_nanos_;
   record.dur_nanos = end >= start_raw_nanos_ ? end - start_raw_nanos_ : 0;
+  record.num_args = num_args_;
+  record.args = args_;
   state_->depth--;
   MutexLock lock(state_->mu);
   state_->spans.push_back(record);

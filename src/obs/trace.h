@@ -1,6 +1,7 @@
 #ifndef ISUM_OBS_TRACE_H_
 #define ISUM_OBS_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -31,13 +32,31 @@ namespace isum::obs {
 /// Drain() must not race with in-flight spans — quiesce workers first
 /// (bench drivers drain after all work has joined).
 
+/// One typed key/value argument attached to a span (Chrome-trace `args`).
+/// Keys and string values must be static strings — the record keeps the
+/// pointers, exactly like SpanRecord::name.
+struct SpanArg {
+  enum class Kind : uint8_t { kInt, kDouble, kString };
+  const char* key = nullptr;
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  const char* string_value = nullptr;
+};
+
 /// One closed span.
 struct SpanRecord {
+  /// Args beyond the capacity are dropped (spans are fixed-size records so
+  /// the per-thread buffers stay allocation-free per span).
+  static constexpr size_t kMaxArgs = 4;
+
   const char* name = nullptr;  ///< static string (never freed)
   uint32_t tid = 0;            ///< tracer-assigned dense thread id
   uint32_t depth = 0;          ///< nesting depth on the recording thread
   uint64_t start_nanos = 0;    ///< relative to session start
   uint64_t dur_nanos = 0;
+  uint32_t num_args = 0;
+  std::array<SpanArg, kMaxArgs> args{};
 };
 
 /// Result of Tracer::Drain(): spans sorted by (start, tid) plus the
@@ -117,8 +136,9 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadState>> threads_ ISUM_GUARDED_BY(mu_);
 };
 
-/// RAII span. Prefer the ISUM_TRACE_SPAN macro; `name` must be a static
-/// string (the record keeps the pointer).
+/// RAII span. Prefer the ISUM_TRACE_SPAN macro (or ISUM_TRACE_SPAN_VAR to
+/// attach args); `name` must be a static string (the record keeps the
+/// pointer).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
@@ -132,15 +152,64 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Attaches a typed key/value argument, exported in Chrome-trace `args`
+  /// and surfaced by tracecat. No-op on a disabled or sampled-out span, so
+  /// `span.Arg("k", k)` is safe (and nearly free) on cold paths; args past
+  /// SpanRecord::kMaxArgs are dropped. Keys/string values must be static.
+  TraceSpan& Arg(const char* key, int64_t value) {
+    if (recording() && num_args_ < SpanRecord::kMaxArgs) {
+      args_[num_args_++] = SpanArg{key, SpanArg::Kind::kInt, value, 0.0,
+                                   nullptr};
+    }
+    return *this;
+  }
+  TraceSpan& Arg(const char* key, double value) {
+    if (recording() && num_args_ < SpanRecord::kMaxArgs) {
+      args_[num_args_++] = SpanArg{key, SpanArg::Kind::kDouble, 0, value,
+                                   nullptr};
+    }
+    return *this;
+  }
+  TraceSpan& Arg(const char* key, const char* value) {
+    if (recording() && num_args_ < SpanRecord::kMaxArgs) {
+      args_[num_args_++] = SpanArg{key, SpanArg::Kind::kString, 0, 0.0,
+                                   value};
+    }
+    return *this;
+  }
+  /// Integral conveniences (exact-match overloads, so `Arg("k", k)` never
+  /// ambiguously converts between int64 and double).
+  TraceSpan& Arg(const char* key, int value) {
+    return Arg(key, static_cast<int64_t>(value));
+  }
+  TraceSpan& Arg(const char* key, uint64_t value) {
+    return Arg(key, static_cast<int64_t>(value));
+  }
+
  private:
   void Begin(Tracer& tracer, const char* name);
   void End();
+  /// True when this span is actually recording (enabled, not sampled out).
+  bool recording() const { return state_ != nullptr && name_ != nullptr; }
 
   const char* name_ = nullptr;
   Tracer::ThreadState* state_ = nullptr;
   uint32_t depth_ = 0;
   uint64_t start_nanos_ = 0;      ///< session-relative
   uint64_t start_raw_nanos_ = 0;  ///< clock-absolute (duration base)
+  uint32_t num_args_ = 0;
+  std::array<SpanArg, SpanRecord::kMaxArgs> args_{};
+};
+
+/// Zero-cost stand-in used when tracing is compiled out: keeps call sites
+/// that attach args (ISUM_TRACE_SPAN_VAR) compiling to nothing.
+class NoopTraceSpan {
+ public:
+  explicit NoopTraceSpan(const char* /*name*/) {}
+  template <typename T>
+  NoopTraceSpan& Arg(const char* /*key*/, T /*value*/) {
+    return *this;
+  }
 };
 
 }  // namespace isum::obs
@@ -149,11 +218,18 @@ class TraceSpan {
 // ISUM_OBS_DISABLE_TRACING) turns every span site into a no-op expression.
 #ifdef ISUM_OBS_DISABLE_TRACING
 #define ISUM_TRACE_SPAN(name) static_cast<void>(0)
+#define ISUM_TRACE_SPAN_VAR(var, name) \
+  ::isum::obs::NoopTraceSpan var { name }
 #else
 #define ISUM_OBS_CONCAT_INNER(a, b) a##b
 #define ISUM_OBS_CONCAT(a, b) ISUM_OBS_CONCAT_INNER(a, b)
 #define ISUM_TRACE_SPAN(name) \
   ::isum::obs::TraceSpan ISUM_OBS_CONCAT(isum_trace_span_, __LINE__) { name }
+/// Named span handle so the scope can attach args:
+///   ISUM_TRACE_SPAN_VAR(span, "compress/greedy-pick");
+///   span.Arg("k", k).Arg("algorithm", "summary");
+#define ISUM_TRACE_SPAN_VAR(var, name) \
+  ::isum::obs::TraceSpan var { name }
 #endif
 
 #endif  // ISUM_OBS_TRACE_H_

@@ -17,6 +17,9 @@ std::string SaveQueryStore(const Workload& workload) {
   std::string out;
   for (size_t i = 0; i < workload.size(); ++i) {
     const QueryInfo& q = workload.query(i);
+    // The query-store JSONL format predates the obs emitters and is a
+    // persistence format (load/save round-trip), not telemetry.
+    // NOLINTNEXTLINE(isum-journal-schema)
     out += StrFormat("{\"sql\": \"%s\", \"cost\": %.6f, \"tag\": \"%s\"}\n",
                      isum::JsonEscape(q.sql).c_str(), q.base_cost,
                      isum::JsonEscape(q.tag).c_str());

@@ -85,6 +85,11 @@ struct CompressedWorkload {
   struct Entry {
     size_t query_index = 0;
     double weight = 1.0;
+    /// The marginal benefit greedy selection estimated when it picked this
+    /// query (0 when the producer predates selection benefits). Carried so
+    /// post-eval attribution (journal `attribution` events) can compare the
+    /// estimate against the realized cost reduction.
+    double selection_benefit = 0.0;
   };
   std::vector<Entry> entries;
   /// kComplete, or why selection stopped early — the entries are then the

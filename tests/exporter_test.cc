@@ -1,0 +1,235 @@
+// Tests for src/obs/exporter.h: the live telemetry exporter (Prometheus
+// text over a minimal 127.0.0.1 HTTP listener + periodic snapshot files)
+// and the MetricsRegistry snapshot/delta semantics it publishes. Suite
+// names start with `Exporter` so the TSan CI job picks the concurrency
+// tests up via its --gtest_filter.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ISUM_TEST_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "common/deadline.h"
+#include "obs/export.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "tools/tracecat/tracecat.h"
+
+namespace isum::obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+double SampleValue(const std::vector<tracecat::PromSample>& samples,
+                   const char* name, const char* labels = "") {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  ADD_FAILURE() << "sample not found: " << name << " {" << labels << "}";
+  return 0.0;
+}
+
+#ifdef ISUM_TEST_HAVE_SOCKETS
+/// One-shot HTTP GET against 127.0.0.1:`port`; returns the raw response.
+bool HttpGet(int port, const char* path, std::string* response) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = std::string("GET ") + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (::write(fd, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  response->clear();
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return !response->empty();
+}
+#endif
+
+TEST(ExporterSnapshot, WritesFileAndRoundTripsThroughTracecat) {
+  MetricsRegistry registry;
+  registry.GetCounter("whatif.optimizer_calls")->Add(123);
+  registry.GetGauge("pool.size")->Set(4.5);
+  registry.GetHistogram("whatif.optimize_nanos")->Observe(1000);
+
+  const std::string path = TempPath("exporter_snapshot.prom");
+  MetricsExporterOptions options;
+  options.snapshot_path = path;
+  options.period_nanos = 3'600'000'000'000ull;  // only the startup tick
+  MetricsExporter exporter(&registry, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  exporter.Stop();
+  // Startup tick + shutdown tick; >= 1 because Stop() can beat the worker's
+  // first iteration (the shutdown tick alone still yields a complete file).
+  EXPECT_GE(exporter.snapshots_written(), 1u);
+
+  auto samples = tracecat::ParsePrometheusText(ReadAll(path));
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(SampleValue(samples.value(), "isum_whatif_optimizer_calls"),
+            123.0);
+  EXPECT_EQ(SampleValue(samples.value(), "isum_pool_size"), 4.5);
+  EXPECT_EQ(
+      SampleValue(samples.value(), "isum_whatif_optimize_nanos_count"), 1.0);
+  // The exporter publishes the ambient budget every tick (-1 = unlimited).
+  EXPECT_EQ(SampleValue(samples.value(), "isum_budget_remaining_seconds"),
+            -1.0);
+}
+
+TEST(ExporterGolden, PrometheusTextShapeIsStable) {
+  // Golden for the exposition format itself (counters and gauges are exact;
+  // histogram quantiles go through the round-trip test above instead).
+  MetricsRegistry registry;
+  registry.GetCounter("compress.runs")->Add(3);
+  registry.GetGauge("budget.remaining_seconds")->Set(-1.0);
+  EXPECT_EQ(PrometheusText(registry.Snapshot()),
+            "# TYPE isum_compress_runs counter\n"
+            "isum_compress_runs 3\n"
+            "# TYPE isum_budget_remaining_seconds gauge\n"
+            "isum_budget_remaining_seconds -1\n");
+}
+
+#ifdef ISUM_TEST_HAVE_SOCKETS
+TEST(ExporterHttp, ServesMetricsAndHealthz) {
+  MetricsRegistry registry;
+  registry.GetCounter("advisor.tuning_runs")->Add(7);
+
+  MetricsExporterOptions options;
+  options.http_port = 0;  // ephemeral
+  MetricsExporter exporter(&registry, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_GT(exporter.port(), 0);
+
+  std::string response;
+  ASSERT_TRUE(HttpGet(exporter.port(), "/metrics", &response));
+  EXPECT_EQ(response.compare(0, 15, "HTTP/1.1 200 OK"), 0) << response;
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  auto samples = tracecat::ParsePrometheusText(response.substr(body_at + 4));
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(SampleValue(samples.value(), "isum_advisor_tuning_runs"), 7.0);
+
+  ASSERT_TRUE(HttpGet(exporter.port(), "/healthz", &response));
+  EXPECT_NE(response.find("ok"), std::string::npos);
+
+  ASSERT_TRUE(HttpGet(exporter.port(), "/nope", &response));
+  EXPECT_EQ(response.compare(0, 12, "HTTP/1.1 404"), 0) << response;
+
+  EXPECT_GE(exporter.requests_served(), 3u);
+  exporter.Stop();
+}
+
+TEST(ExporterHttp, StartFailsCleanlyOnBusyPort) {
+  MetricsRegistry registry;
+  MetricsExporterOptions options;
+  options.http_port = 0;
+  MetricsExporter first(&registry, options);
+  ASSERT_TRUE(first.Start().ok());
+
+  MetricsExporterOptions busy;
+  busy.http_port = first.port();
+  MetricsExporter second(&registry, busy);
+  EXPECT_FALSE(second.Start().ok());
+  first.Stop();
+}
+#endif
+
+TEST(ExporterBudget, ExpiredAmbientBudgetStopsTheWorker) {
+  // Once the ambient budget expires, the worker writes one final snapshot
+  // (with the gauge at 0) and exits on its own; Stop() then only joins.
+  InstallAmbientBudget(TimeBudget::After(0.0));
+  MetricsRegistry registry;
+  const std::string path = TempPath("exporter_budget.prom");
+  MetricsExporterOptions options;
+  options.snapshot_path = path;
+  options.period_nanos = 1'000'000;  // 1ms: would write thousands if alive
+  MetricsExporter exporter(&registry, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const uint64_t after_expiry = exporter.snapshots_written();
+  EXPECT_LE(after_expiry, 2u);  // the budget-expired tick, not one per ms
+  exporter.Stop();
+  InstallAmbientBudget(TimeBudget());  // restore unlimited for other tests
+
+  auto samples = tracecat::ParsePrometheusText(ReadAll(path));
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_EQ(SampleValue(samples.value(), "isum_budget_remaining_seconds"),
+            0.0);
+}
+
+TEST(ExporterRegistry, SnapshotAndDeltaUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress.counter");
+  Histogram* histogram = registry.GetHistogram("stress.histogram");
+  const MetricsSnapshot before = registry.Snapshot();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::atomic<bool> done{false};
+  // Reader thread: snapshots concurrently with the writers; every observed
+  // value must be a valid intermediate (never above the final total).
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot s = registry.Snapshot();
+      EXPECT_LE(s.CounterValue("stress.counter"), kThreads * kPerThread);
+      EXPECT_LE(s.HistogramCount("stress.histogram"),
+                kThreads * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        histogram->Observe(100);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const MetricsSnapshot after = registry.Snapshot();
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("stress.counter"), kThreads * kPerThread);
+  EXPECT_EQ(delta.HistogramCount("stress.histogram"), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace isum::obs

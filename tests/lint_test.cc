@@ -482,17 +482,53 @@ TEST(LintOutput, ViolationFormatsAsFileLineCol) {
                               "use ISUM_CHECK or return a Status");
 }
 
-TEST(LintRules, KnownRulesListsAllElevenRules) {
+TEST(LintRules, KnownRulesListsAllTwelveRules) {
   const auto rules = KnownRules();
-  EXPECT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules.size(), 12u);
   for (const char* r :
        {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
         "isum-include-guard", "isum-missing-override",
         "isum-unchecked-status", "isum-no-raw-clock",
         "isum-no-perpair-alloc", "isum-budget-poll", "isum-lock-scope",
-        "isum-guarded-by"}) {
+        "isum-guarded-by", "isum-journal-schema"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
+}
+
+TEST(LintJournalSchema, FlagsAdHocJsonEmissionInLibraryCode) {
+  const auto vs = Lint(
+      "src/core/summary.cc",
+      "void F() { Log(\"{\\\"event\\\": \\\"pick\\\", \\\"q\\\": 3}\"); }\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-journal-schema");
+}
+
+TEST(LintJournalSchema, FlagsRawStringJsonObjects) {
+  const auto vs = Lint("src/advisor/enumerator.cc",
+                       "const char* kJson = R\"({\"round\": 1})\";\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "isum-journal-schema");
+}
+
+TEST(LintJournalSchema, AllowsTheObsEmittersThemselves) {
+  EXPECT_TRUE(Lint("src/obs/journal.cc",
+                   "out += \"{\\\"event\\\": \\\"select\\\"}\";\n")
+                  .empty());
+}
+
+TEST(LintJournalSchema, AllowsPlainBracesAndNonJsonStrings) {
+  // A lone "{" (say, for code generation) is not a JSON object literal.
+  EXPECT_TRUE(Lint("src/core/isum.cc", "out += \"{\";\n").empty());
+  EXPECT_TRUE(
+      Lint("src/core/isum.cc", "Log(\"selected {} queries\");\n").empty());
+}
+
+TEST(LintJournalSchema, NolintNextlineSuppresses) {
+  EXPECT_TRUE(
+      Lint("src/workload/query_store.cc",
+           "// NOLINTNEXTLINE(isum-journal-schema)\n"
+           "out += StrFormat(\"{\\\"sql\\\": \\\"%s\\\"}\", s.c_str());\n")
+          .empty());
 }
 
 TEST(LintPerPairAlloc, FlagsVectorInsideHotPathLoop) {

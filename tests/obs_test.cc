@@ -374,6 +374,47 @@ TEST_F(ObsTracerTest, SamplingStateResetsPerSession) {
   EXPECT_STREQ(dump.spans[0].name, "c");
 }
 
+TEST_F(ObsTracerTest, SpanArgsAreRecordedTypedAndBounded) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    ISUM_TRACE_SPAN_VAR(span, "compress/greedy-pick");
+    span.Arg("k", 50)
+        .Arg("algorithm", "summary-features")
+        .Arg("ratio", 0.5)
+        .Arg("threads", uint64_t{8})
+        .Arg("dropped", 99);  // fifth arg: past kMaxArgs, silently dropped
+  }
+  tracer.Disable();
+  const TraceDump dump = tracer.Drain();
+
+  ASSERT_EQ(dump.spans.size(), 1u);
+  const SpanRecord& span = dump.spans[0];
+  ASSERT_EQ(span.num_args, SpanRecord::kMaxArgs);
+  EXPECT_STREQ(span.args[0].key, "k");
+  EXPECT_EQ(span.args[0].kind, SpanArg::Kind::kInt);
+  EXPECT_EQ(span.args[0].int_value, 50);
+  EXPECT_STREQ(span.args[1].key, "algorithm");
+  EXPECT_EQ(span.args[1].kind, SpanArg::Kind::kString);
+  EXPECT_STREQ(span.args[1].string_value, "summary-features");
+  EXPECT_STREQ(span.args[2].key, "ratio");
+  EXPECT_EQ(span.args[2].kind, SpanArg::Kind::kDouble);
+  EXPECT_EQ(span.args[2].double_value, 0.5);
+  EXPECT_STREQ(span.args[3].key, "threads");
+  EXPECT_EQ(span.args[3].kind, SpanArg::Kind::kInt);
+  EXPECT_EQ(span.args[3].int_value, 8);
+}
+
+TEST_F(ObsTracerTest, SpanArgsAreDroppedWhenNotRecording) {
+  Tracer& tracer = Tracer::Global();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ISUM_TRACE_SPAN_VAR(span, "ghost");
+    span.Arg("k", 50).Arg("label", "unused");  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(tracer.Drain().spans.empty());
+}
+
 #endif  // ISUM_OBS_DISABLE_TRACING
 
 // --- exporters --------------------------------------------------------
@@ -407,6 +448,38 @@ TEST(ObsExport, SpansJsonlOneObjectPerLine) {
             "{\"type\":\"span\",\"name\":\"advisor/enumerate\",\"tid\":0,"
             "\"thread\":\"main\",\"depth\":0,\"start_us\":1.000,"
             "\"dur_us\":2.000}\n");
+}
+
+TEST(ObsExport, SpanArgsRenderInBothExporters) {
+  TraceDump dump;
+  dump.thread_names = {"main"};
+  SpanRecord span{"compress/greedy-pick", 0, 0, 1500, 2500500};
+  span.num_args = 3;
+  span.args[0] = SpanArg{"k", SpanArg::Kind::kInt, 50, 0.0, nullptr};
+  span.args[1] =
+      SpanArg{"algorithm", SpanArg::Kind::kString, 0, 0.0, "summary-features"};
+  span.args[2] = SpanArg{"ratio", SpanArg::Kind::kDouble, 0, 0.5, nullptr};
+  dump.spans.push_back(span);
+
+  // Chrome trace: args join the object the "depth" field opens.
+  EXPECT_EQ(ChromeTraceJson(dump),
+            "[\n"
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"main\"}},\n"
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+            "\"name\":\"compress/greedy-pick\","
+            "\"cat\":\"isum\",\"ts\":1.500,\"dur\":2500.500,"
+            "\"args\":{\"depth\":0,\"k\":50,"
+            "\"algorithm\":\"summary-features\",\"ratio\":0.5}}\n"
+            "]\n");
+
+  // JSONL: args appear as a nested object only when the span has any, so
+  // arg-free span lines keep their historical shape (golden above).
+  EXPECT_EQ(SpansJsonl(dump),
+            "{\"type\":\"span\",\"name\":\"compress/greedy-pick\",\"tid\":0,"
+            "\"thread\":\"main\",\"depth\":0,\"start_us\":1.500,"
+            "\"dur_us\":2500.500,\"args\":{\"k\":50,"
+            "\"algorithm\":\"summary-features\",\"ratio\":0.5}}\n");
 }
 
 TEST(ObsExport, MetricsJsonlCoversAllInstrumentKinds) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tools/tracecat/tracecat.h"
@@ -255,6 +256,196 @@ TEST(TracecatBench, DeltaMarksPhasesMissingOnOneSide) {
   const std::string delta = BenchDelta(a, b);
   EXPECT_NE(delta.find("compress/gone"), std::string::npos);
   EXPECT_NE(delta.find("compress/new"), std::string::npos);
+}
+
+/// A hand-written isum-events-v1 journal with one clean compression block
+/// whose selection hash is genuinely correct (computed via the shared
+/// obs::SelectionOrderHash definition).
+std::string SampleJournal() {
+  const size_t order[] = {7, 3};
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(
+                    obs::SelectionOrderHash(order, 2)));
+  std::string out;
+  out +=
+      "{\"event\":\"journal_begin\",\"seq\":0,\"t_us\":0.000,"
+      "\"schema\":\"isum-events-v1\",\"label\":\"unit\"}\n";
+  out +=
+      "{\"event\":\"compress_begin\",\"seq\":1,\"t_us\":1.000,\"n\":10,"
+      "\"k\":2,\"algorithm\":\"summary-features\",\"threads\":1}\n";
+  out +=
+      "{\"event\":\"select\",\"seq\":2,\"t_us\":2.000,\"round\":0,"
+      "\"query\":7,\"benefit\":0.5,\"gap\":0.1,\"shard\":0,\"eligible\":10}\n";
+  out +=
+      "{\"event\":\"select\",\"seq\":3,\"t_us\":3.000,\"round\":1,"
+      "\"query\":3,\"benefit\":0.25,\"gap\":0.005,\"shard\":0,"
+      "\"eligible\":9}\n";
+  out += std::string("{\"event\":\"compress_end\",\"seq\":4,\"t_us\":4.000,") +
+         "\"selected\":2,\"selection_hash\":\"" + hash +
+         "\",\"benefit_sum\":0.75,\"stop_reason\":\"complete\"}\n";
+  out +=
+      "{\"event\":\"enum_round\",\"seq\":5,\"t_us\":5.000,\"round\":0,"
+      "\"candidates\":6,\"best_index\":2,\"improvement\":12.5,"
+      "\"cache_hits\":4,\"optimizer_calls\":8}\n";
+  out +=
+      "{\"event\":\"enum_end\",\"seq\":6,\"t_us\":6.000,\"indexes\":1,"
+      "\"initial_cost\":100,\"final_cost\":87.5,"
+      "\"stop_reason\":\"complete\"}\n";
+  out +=
+      "{\"event\":\"retry\",\"seq\":7,\"t_us\":7.000,\"site\":"
+      "\"whatif.cost\",\"attempt\":1,\"backoff_us\":250.000}\n";
+  out +=
+      "{\"event\":\"fault\",\"seq\":8,\"t_us\":8.000,\"site\":"
+      "\"whatif.cost\",\"code\":\"unavailable\"}\n";
+  out +=
+      "{\"event\":\"attribution\",\"seq\":9,\"t_us\":9.000,\"query\":7,"
+      "\"weight\":2.5,\"estimated\":0.5,\"realized\":40}\n";
+  out +=
+      "{\"event\":\"attribution\",\"seq\":10,\"t_us\":10.000,\"query\":3,"
+      "\"weight\":1.5,\"estimated\":0.25,\"realized\":60}\n";
+  out +=
+      "{\"event\":\"pipeline_end\",\"seq\":11,\"t_us\":11.000,"
+      "\"algorithm\":\"isum\",\"k\":2,\"improvement_percent\":12.5,"
+      "\"stop_reason\":\"complete\"}\n";
+  out += "{\"event\":\"journal_end\",\"seq\":12,\"t_us\":12.000}\n";
+  return out;
+}
+
+TEST(TracecatJournal, ParsesAndChecksWellFormedJournal) {
+  const auto events = ParseJournal(SampleJournal());
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events.value().size(), 13u);
+  EXPECT_EQ(events.value()[2].event, "select");
+  EXPECT_EQ(events.value()[2].seq, 2u);
+  EXPECT_DOUBLE_EQ(events.value()[2].Number("benefit").value(), 0.5);
+  EXPECT_EQ(events.value()[0].String("label").value(), "unit");
+
+  const auto checked = CheckJournal(events.value());
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value(), 13u);
+}
+
+TEST(TracecatJournal, ExplainReconstructsTheRun) {
+  const auto events = ParseJournal(SampleJournal());
+  ASSERT_TRUE(events.ok());
+  const auto report = ExplainJournal(events.value(), 5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string& text = report.value();
+  EXPECT_NE(text.find("== journal: unit (13 events) =="), std::string::npos);
+  EXPECT_NE(text.find("summary-features, n=10 -> k=2"), std::string::npos);
+  EXPECT_NE(text.find("selection order: 7 3"), std::string::npos);
+  EXPECT_NE(text.find("(recomputed: match)"), std::string::npos);
+  // Round 1 (margin 0.005) is more contested than round 0 (margin 0.1).
+  const size_t round1 = text.find(" 0.005 ");
+  const size_t round0 = text.find(" 0.1 ");
+  EXPECT_NE(round1, std::string::npos) << text;
+  EXPECT_NE(round0, std::string::npos) << text;
+  EXPECT_LT(round1, round0) << "contested rounds must sort by margin";
+  EXPECT_NE(text.find("== enumeration: 1 round(s) =="), std::string::npos);
+  EXPECT_NE(text.find("cost 100 -> 87.5 (12.5%)"), std::string::npos);
+  EXPECT_NE(text.find("== benefit attribution (2 selected queries) =="),
+            std::string::npos);
+  // Estimated ranks 7 above 3; realized ranks 3 above 7: rank error 1 each.
+  EXPECT_NE(text.find("mean rank error: 1.00 over 2 queries"),
+            std::string::npos);
+  EXPECT_NE(text.find("retry whatif.cost attempt 1"), std::string::npos);
+  EXPECT_NE(text.find("FAULT whatif.cost surfaced unavailable"),
+            std::string::npos);
+  EXPECT_NE(text.find("== pipeline: isum k=2 improvement 12.50% (complete)"),
+            std::string::npos);
+}
+
+TEST(TracecatJournal, CheckRejectsHashMismatch) {
+  std::string journal = SampleJournal();
+  // Corrupt one selected query id: the recorded hash no longer matches the
+  // replayed selection order.
+  const size_t at = journal.find("\"query\":3");
+  ASSERT_NE(at, std::string::npos);
+  journal.replace(at, 9, "\"query\":4");
+  const auto events = ParseJournal(journal);
+  ASSERT_TRUE(events.ok());
+  const auto checked = CheckJournal(events.value());
+  ASSERT_FALSE(checked.ok());
+  EXPECT_NE(checked.status().ToString().find("selection hash mismatch"),
+            std::string::npos);
+  // Explain still renders, and says so.
+  const auto report = ExplainJournal(events.value(), 5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("selection hash mismatch"),
+            std::string::npos);
+}
+
+TEST(TracecatJournal, CheckRejectsStructuralDamage) {
+  // Truncation: drop the tail so seq keeps its density but the compression
+  // block never ends.
+  const std::string whole = SampleJournal();
+  const std::string headless =
+      whole.substr(whole.find("{\"event\":\"compress_begin\""));
+  EXPECT_FALSE(CheckJournal(ParseJournal(headless).value()).ok());
+
+  // A seq gap (line removed mid-file) must be called out.
+  std::string gapped = whole;
+  const size_t select_at = gapped.find("{\"event\":\"select\",\"seq\":2");
+  gapped.erase(select_at, gapped.find('\n', select_at) - select_at + 1);
+  const auto gap_check = CheckJournal(ParseJournal(gapped).value());
+  ASSERT_FALSE(gap_check.ok());
+  EXPECT_NE(gap_check.status().ToString().find("non-dense seq"),
+            std::string::npos);
+
+  // Unknown event types are schema violations, not silently skipped.
+  std::string unknown = whole;
+  const size_t retry_at = unknown.find("\"retry\"");
+  unknown.replace(retry_at, 7, "\"rerun\"");
+  EXPECT_FALSE(CheckJournal(ParseJournal(unknown).value()).ok());
+
+  // Missing required field.
+  std::string missing = whole;
+  const size_t gap_at = missing.find(",\"gap\":0.1");
+  missing.erase(gap_at, 10);
+  const auto missing_check = CheckJournal(ParseJournal(missing).value());
+  ASSERT_FALSE(missing_check.ok());
+  EXPECT_NE(missing_check.status().ToString().find("missing field"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseJournal("").ok());
+  EXPECT_FALSE(ParseJournal("not a journal\n").ok());
+}
+
+TEST(TracecatWatch, ParsesPrometheusTextAndRendersFrame) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("compress.runs")->Add(2);
+  registry.GetCounter("compress.input_queries")->Add(20000);
+  registry.GetCounter("compress.selected_queries")->Add(100);
+  registry.GetCounter("whatif.optimizer_calls")->Add(25);
+  registry.GetCounter("whatif.cache_hits")->Add(75);
+  registry.GetCounter("retry.attempts")->Add(3);
+  registry.GetGauge("budget.remaining_seconds")->Set(42.5);
+  obs::Histogram* lat = registry.GetHistogram("whatif.optimize_nanos");
+  for (int i = 0; i < 10; ++i) lat->Observe(2'000'000);
+
+  const auto samples =
+      ParsePrometheusText(obs::PrometheusText(registry.Snapshot()));
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+
+  const std::string frame = WatchFrame(samples.value());
+  EXPECT_NE(frame.find("budget remaining: 42.5s"), std::string::npos);
+  EXPECT_NE(frame.find("compression: 2 run(s), 20000 -> 100 queries"),
+            std::string::npos);
+  EXPECT_NE(frame.find("(75.0% hit rate)"), std::string::npos);
+  EXPECT_NE(frame.find("optimize latency: p50"), std::string::npos);
+  EXPECT_NE(frame.find("robustness: 3 retry(ies)"), std::string::npos);
+}
+
+TEST(TracecatWatch, RejectsMalformedExposition) {
+  EXPECT_FALSE(ParsePrometheusText("isum_thing\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("isum_thing notanumber\n").ok());
+  EXPECT_FALSE(
+      ParsePrometheusText("isum_thing{quantile=\"0.5\" 1.0\n").ok());
+  // Comments and blank lines are fine; empty input parses to no samples.
+  const auto empty = ParsePrometheusText("# TYPE x counter\n\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
 }
 
 TEST(TracecatReport, OmitsRobustnessSectionOnCleanRuns) {

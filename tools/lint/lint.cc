@@ -23,6 +23,7 @@ constexpr const char kNoPerPairAlloc[] = "isum-no-perpair-alloc";
 constexpr const char kBudgetPoll[] = "isum-budget-poll";
 constexpr const char kLockScope[] = "isum-lock-scope";
 constexpr const char kGuardedBy[] = "isum-guarded-by";
+constexpr const char kJournalSchema[] = "isum-journal-schema";
 
 /// Files on the similarity/selection hot path, where a per-iteration
 /// std::vector costs a malloc per pair (the regression class the scratch
@@ -144,7 +145,7 @@ std::string Violation::ToString() const {
 std::vector<std::string> KnownRules() {
   return {kNoAssert,   kNoStdio,          kNoNondeterminism, kIncludeGuard,
           kMissingOverride, kUncheckedStatus, kNoRawClock,   kNoPerPairAlloc,
-          kBudgetPoll, kLockScope,        kGuardedBy};
+          kBudgetPoll, kLockScope,        kGuardedBy,        kJournalSchema};
 }
 
 LexedSource Lex(const std::string& content) {
@@ -207,9 +208,11 @@ LexedSource Lex(const std::string& content) {
       continue;
     }
 
-    // String literal (the contents become an opaque placeholder token).
+    // String literal (the contents become an opaque placeholder token; the
+    // verbatim source text is kept in `raw` for content-inspecting rules).
     if (c == '"') {
-      out.tokens.push_back({Token::Kind::kString, "<string>", line, col});
+      const size_t lit_start = i;
+      out.tokens.push_back({Token::Kind::kString, "<string>", "", line, col});
       ++i;
       ++col;
       while (i < n) {
@@ -238,12 +241,13 @@ LexedSource Lex(const std::string& content) {
         ++i;
         ++col;
       }
+      out.tokens.back().raw = content.substr(lit_start, i - lit_start);
       continue;
     }
 
     // Character literal.
     if (c == '\'') {
-      out.tokens.push_back({Token::Kind::kChar, "<char>", line, col});
+      out.tokens.push_back({Token::Kind::kChar, "<char>", "", line, col});
       ++i;
       ++col;
       while (i < n) {
@@ -278,8 +282,10 @@ LexedSource Lex(const std::string& content) {
                               text == "LR" || text == "u8R";
       if (raw_prefix && i < n && content[i] == '"') {
         // R"delim( ... )delim" — the body may span lines and contain
-        // anything except the closer; it never reaches the rules.
-        out.tokens.push_back({Token::Kind::kString, "<string>", line, tcol});
+        // anything except the closer; only `raw` carries the contents.
+        const size_t lit_start = start;
+        out.tokens.push_back(
+            {Token::Kind::kString, "<string>", "", line, tcol});
         ++i;
         ++col;
         std::string delim;
@@ -309,9 +315,10 @@ LexedSource Lex(const std::string& content) {
           i = end + closer.size();
           col += static_cast<int>(closer.size());
         }
+        out.tokens.back().raw = content.substr(lit_start, i - lit_start);
         continue;
       }
-      out.tokens.push_back({Token::Kind::kIdent, text, line, tcol});
+      out.tokens.push_back({Token::Kind::kIdent, text, "", line, tcol});
       continue;
     }
 
@@ -344,7 +351,8 @@ LexedSource Lex(const std::string& content) {
         break;
       }
       out.tokens.push_back(
-          {Token::Kind::kNumber, content.substr(start, i - start), line, tcol});
+          {Token::Kind::kNumber, content.substr(start, i - start), "", line,
+           tcol});
       continue;
     }
 
@@ -366,23 +374,24 @@ LexedSource Lex(const std::string& content) {
           ++col;
         }
         out.tokens.push_back({Token::Kind::kPreproc,
-                              "#" + content.substr(dstart, i - dstart), line,
-                              tcol});
+                              "#" + content.substr(dstart, i - dstart), "",
+                              line, tcol});
       } else {
-        out.tokens.push_back({Token::Kind::kPunct, "#", line, tcol});
+        out.tokens.push_back({Token::Kind::kPunct, "#", "", line, tcol});
       }
       continue;
     }
 
     // "::" is one token so scope qualification is trivially matchable.
     if (c == ':' && i + 1 < n && content[i + 1] == ':') {
-      out.tokens.push_back({Token::Kind::kPunct, "::", line, col});
+      out.tokens.push_back({Token::Kind::kPunct, "::", "", line, col});
       i += 2;
       col += 2;
       continue;
     }
 
-    out.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line, col});
+    out.tokens.push_back(
+        {Token::Kind::kPunct, std::string(1, c), "", line, col});
     ++i;
     ++col;
   }
@@ -492,6 +501,12 @@ void LintFile(const std::string& path, const std::string& content,
   const bool rule_lockscope = !is_mutex_home;
   const bool rule_budget = (path.find("src/core/") != std::string::npos ||
                             path.find("src/advisor/") != std::string::npos);
+  // JSON emission is the obs layer's monopoly: library code writing
+  // hand-rolled JSON object literals bypasses the machine-checked schemas
+  // (isum-events-v1, the trace/metrics exporters) that tracecat and CI
+  // validate. src/obs/ is where the sanctioned emitters live.
+  const bool rule_journal =
+      is_src && path.find("src/obs/") == std::string::npos;
 
   const LexedSource src = Lex(content);
   const auto& toks = src.tokens;
@@ -786,6 +801,25 @@ void LintFile(const std::string& path, const std::string& content,
         }
       }
       continue;
+    }
+
+    // --- isum-journal-schema ---
+    // A string literal spelling the start of a JSON object ( {" ) is an
+    // ad-hoc JSON emitter. In an ordinary literal the key's quote is
+    // escaped ({\"); in a raw literal (raw text starts with the R prefix,
+    // not a quote) it appears verbatim ({").
+    if (rule_journal && t.kind == Token::Kind::kString) {
+      const bool ordinary = !t.raw.empty() && t.raw[0] == '"';
+      const bool json_object = ordinary
+                                   ? t.raw.find("{\\\"") != std::string::npos
+                                   : t.raw.find("{\"") != std::string::npos;
+      if (json_object) {
+        add(t.line, t.col, kJournalSchema,
+            "string literal emits ad-hoc JSON; library code must route "
+            "structured output through the src/obs/ emitters (Journal "
+            "events, MetricsJsonl, ChromeTraceJson) so every schema stays "
+            "machine-checkable by tracecat and CI (docs/OBSERVABILITY.md)");
+      }
     }
 
     if (t.kind != Token::Kind::kPunct) continue;

@@ -57,8 +57,11 @@ struct Token {
   };
   Kind kind = Kind::kPunct;
   std::string text;
-  int line = 0;  ///< 1-based
-  int col = 0;   ///< 1-based byte column of the token's first character
+  std::string raw;  ///< kString only: the literal's verbatim source text,
+                    ///< for rules that inspect string *contents* (the
+                    ///< journal-schema rule); empty for every other kind
+  int line = 0;     ///< 1-based
+  int col = 0;      ///< 1-based byte column of the token's first character
 };
 
 /// Rules suppressed by one NOLINT / NOLINTNEXTLINE directive. An empty

@@ -1,10 +1,12 @@
 #include "tools/tracecat/tracecat.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/jsonl.h"
 #include "common/string_util.h"
+#include "obs/journal.h"
 
 namespace isum::tracecat {
 
@@ -441,6 +443,599 @@ std::string BenchDelta(const BenchRecord& from, const BenchRecord& to) {
   }
   out += StrFormat("wall: %.2fs -> %.2fs%s\n", from.wall_seconds,
                    to.wall_seconds, wall_delta.c_str());
+  return out;
+}
+
+// ---- decision-provenance journal ----
+
+StatusOr<double> JournalEvent::Number(const std::string& key) const {
+  return JsonExtractNumber(line, key);
+}
+
+StatusOr<std::string> JournalEvent::String(const std::string& key) const {
+  return JsonExtractString(line, key);
+}
+
+bool JournalEvent::Has(const std::string& key) const {
+  return JsonHasKey(line, key);
+}
+
+StatusOr<std::vector<JournalEvent>> ParseJournal(const std::string& content) {
+  std::vector<JournalEvent> events;
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    if (line.front() != '{') {
+      return Status::ParseError("unexpected journal line: " + line);
+    }
+    JournalEvent e;
+    auto event = JsonExtractString(line, "event");
+    if (!event.ok()) return event.status();
+    e.event = event.value();
+    auto seq = JsonExtractNumber(line, "seq");
+    if (!seq.ok()) return seq.status();
+    e.seq = static_cast<uint64_t>(seq.value());
+    auto t = JsonExtractNumber(line, "t_us");
+    if (!t.ok()) return t.status();
+    e.t_us = t.value();
+    e.line = line;
+    events.push_back(std::move(e));
+  }
+  if (events.empty()) return Status::ParseError("empty journal");
+  return events;
+}
+
+namespace {
+
+/// The isum-events-v1 vocabulary: every event type the journal emits and
+/// the fields it must carry (src/obs/journal.cc is the single producer).
+struct EventSpec {
+  const char* event;
+  const char* fields[6];
+};
+
+constexpr EventSpec kEventSpecs[] = {
+    {"journal_begin", {"schema", "label"}},
+    {"journal_end", {}},
+    {"compress_begin", {"n", "k", "algorithm", "threads"}},
+    {"select", {"round", "query", "benefit", "gap", "shard", "eligible"}},
+    {"feature_reset", {"selected"}},
+    {"compress_end", {"selected", "selection_hash", "benefit_sum",
+                      "stop_reason"}},
+    {"enum_round", {"round", "candidates", "best_index", "improvement",
+                    "cache_hits", "optimizer_calls"}},
+    {"enum_end", {"indexes", "initial_cost", "final_cost", "stop_reason"}},
+    {"retry", {"site", "attempt", "backoff_us"}},
+    {"fault", {"site", "code"}},
+    {"budget_tick", {"remaining_s"}},
+    {"budget_stop", {"reason"}},
+    {"attribution", {"query", "weight", "estimated", "realized"}},
+    {"pipeline_end", {"algorithm", "k", "improvement_percent",
+                      "stop_reason"}},
+};
+
+const EventSpec* FindEventSpec(const std::string& event) {
+  for (const EventSpec& spec : kEventSpecs) {
+    if (event == spec.event) return &spec;
+  }
+  return nullptr;
+}
+
+/// Recomputes obs::SelectionOrderHash over one compression block's select
+/// events and compares it to the compress_end record's selection_hash.
+Status VerifySelectionHash(const std::vector<size_t>& order,
+                           const JournalEvent& end_event) {
+  auto recorded = end_event.String("selection_hash");
+  if (!recorded.ok()) return recorded.status();
+  const uint64_t recomputed =
+      obs::SelectionOrderHash(order.data(), order.size());
+  const uint64_t stored =
+      std::strtoull(recorded.value().c_str(), nullptr, 16);
+  if (recomputed != stored) {
+    return Status::ParseError(StrFormat(
+        "selection hash mismatch at seq %llu: journal %s, recomputed %016llx",
+        static_cast<unsigned long long>(end_event.seq),
+        recorded.value().c_str(),
+        static_cast<unsigned long long>(recomputed)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<size_t> CheckJournal(const std::vector<JournalEvent>& events) {
+  if (events.empty()) return Status::ParseError("empty journal");
+  if (events.front().event != "journal_begin") {
+    return Status::ParseError("journal does not start with journal_begin");
+  }
+  auto schema = events.front().String("schema");
+  if (!schema.ok()) return schema.status();
+  if (schema.value() != "isum-events-v1") {
+    return Status::ParseError("unsupported journal schema: " + schema.value());
+  }
+
+  bool in_compress = false;
+  std::vector<size_t> order;
+  uint64_t expected_round = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JournalEvent& e = events[i];
+    if (e.seq != i) {
+      return Status::ParseError(StrFormat(
+          "non-dense seq: expected %zu, got %llu (truncated journal?)", i,
+          static_cast<unsigned long long>(e.seq)));
+    }
+    const EventSpec* spec = FindEventSpec(e.event);
+    if (spec == nullptr) {
+      return Status::ParseError("unknown event type: " + e.event);
+    }
+    for (const char* field : spec->fields) {
+      if (field == nullptr) break;
+      if (!e.Has(field)) {
+        return Status::ParseError(
+            StrFormat("event %s (seq %llu) missing field \"%s\"",
+                      e.event.c_str(),
+                      static_cast<unsigned long long>(e.seq), field));
+      }
+    }
+    if (e.event == "compress_begin") {
+      if (in_compress) {
+        return Status::ParseError("nested compress_begin at seq " +
+                                  StrFormat("%llu", (unsigned long long)e.seq));
+      }
+      in_compress = true;
+      order.clear();
+      expected_round = 0;
+    } else if (e.event == "select") {
+      if (!in_compress) {
+        return Status::ParseError("select outside a compression block");
+      }
+      auto round = e.Number("round");
+      if (!round.ok()) return round.status();
+      if (static_cast<uint64_t>(round.value()) != expected_round) {
+        return Status::ParseError(StrFormat(
+            "non-contiguous selection rounds: expected %llu, got %.0f",
+            static_cast<unsigned long long>(expected_round), round.value()));
+      }
+      ++expected_round;
+      auto query = e.Number("query");
+      if (!query.ok()) return query.status();
+      order.push_back(static_cast<size_t>(query.value()));
+    } else if (e.event == "compress_end") {
+      if (!in_compress) {
+        return Status::ParseError("compress_end without compress_begin");
+      }
+      auto selected = e.Number("selected");
+      if (!selected.ok()) return selected.status();
+      if (static_cast<size_t>(selected.value()) != order.size()) {
+        return Status::ParseError(StrFormat(
+            "compress_end claims %.0f selections but block has %zu",
+            selected.value(), order.size()));
+      }
+      const Status hash = VerifySelectionHash(order, e);
+      if (!hash.ok()) return hash;
+      in_compress = false;
+    }
+  }
+  if (in_compress) {
+    return Status::ParseError("unterminated compression block");
+  }
+  return events.size();
+}
+
+namespace {
+
+/// Everything ExplainJournal accumulates for one compression block.
+struct CompressBlock {
+  std::string algorithm = "?";
+  uint64_t n = 0;
+  uint64_t k = 0;
+  uint64_t threads = 1;
+  std::vector<const JournalEvent*> selects;
+  std::vector<size_t> order;
+  std::vector<uint64_t> reset_rounds;  ///< selected-so-far at each reset
+  const JournalEvent* end = nullptr;
+};
+
+std::string HumanGap(double gap) {
+  return gap < 0.0 ? std::string("(none)") : StrFormat("%.6g", gap);
+}
+
+}  // namespace
+
+StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
+                                     size_t top_k) {
+  if (events.empty()) return Status::ParseError("empty journal");
+
+  std::string label = "?";
+  if (events.front().event == "journal_begin") {
+    auto l = events.front().String("label");
+    if (l.ok()) label = l.value();
+  }
+  const bool closed = events.back().event == "journal_end";
+
+  // One pass groups the stream: compression blocks, enumeration rounds,
+  // attribution rows, fault/retry/budget timelines.
+  std::vector<CompressBlock> blocks;
+  CompressBlock* open_block = nullptr;
+  std::vector<const JournalEvent*> enum_rounds;
+  std::vector<const JournalEvent*> enum_ends;
+  std::vector<const JournalEvent*> attributions;
+  std::vector<const JournalEvent*> incidents;  ///< retry/fault/budget_stop
+  std::vector<const JournalEvent*> ticks;
+  const JournalEvent* pipeline_end = nullptr;
+  for (const JournalEvent& e : events) {
+    if (e.event == "compress_begin") {
+      blocks.emplace_back();
+      open_block = &blocks.back();
+      auto algorithm = e.String("algorithm");
+      if (algorithm.ok()) open_block->algorithm = algorithm.value();
+      auto n = e.Number("n");
+      if (n.ok()) open_block->n = static_cast<uint64_t>(n.value());
+      auto k = e.Number("k");
+      if (k.ok()) open_block->k = static_cast<uint64_t>(k.value());
+      auto threads = e.Number("threads");
+      if (threads.ok()) {
+        open_block->threads = static_cast<uint64_t>(threads.value());
+      }
+    } else if (e.event == "select") {
+      if (open_block == nullptr) {
+        return Status::ParseError("select outside a compression block");
+      }
+      auto query = e.Number("query");
+      if (!query.ok()) return query.status();
+      open_block->selects.push_back(&e);
+      open_block->order.push_back(static_cast<size_t>(query.value()));
+    } else if (e.event == "feature_reset") {
+      if (open_block != nullptr) {
+        auto selected = e.Number("selected");
+        open_block->reset_rounds.push_back(
+            selected.ok() ? static_cast<uint64_t>(selected.value()) : 0);
+      }
+    } else if (e.event == "compress_end") {
+      if (open_block == nullptr) {
+        return Status::ParseError("compress_end without compress_begin");
+      }
+      open_block->end = &e;
+      open_block = nullptr;
+    } else if (e.event == "enum_round") {
+      enum_rounds.push_back(&e);
+    } else if (e.event == "enum_end") {
+      enum_ends.push_back(&e);
+    } else if (e.event == "attribution") {
+      attributions.push_back(&e);
+    } else if (e.event == "retry" || e.event == "fault" ||
+               e.event == "budget_stop") {
+      incidents.push_back(&e);
+    } else if (e.event == "budget_tick") {
+      ticks.push_back(&e);
+    } else if (e.event == "pipeline_end") {
+      pipeline_end = &e;
+    }
+  }
+
+  std::string out;
+  out += StrFormat("== journal: %s (%zu events%s) ==\n", label.c_str(),
+                   events.size(), closed ? "" : ", NOT cleanly closed");
+
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const CompressBlock& block = blocks[b];
+    std::string stop_reason = "?";
+    double benefit_sum = 0.0;
+    std::string hash_note = "compress_end missing (truncated block)";
+    if (block.end != nullptr) {
+      auto reason = block.end->String("stop_reason");
+      if (reason.ok()) stop_reason = reason.value();
+      auto sum = block.end->Number("benefit_sum");
+      if (sum.ok()) benefit_sum = sum.value();
+      const Status hash =
+          VerifySelectionHash(block.order, *block.end);
+      if (hash.ok()) {
+        auto recorded = block.end->String("selection_hash");
+        hash_note = StrFormat("%s (recomputed: match)",
+                              recorded.ok() ? recorded.value().c_str() : "?");
+      } else {
+        hash_note = hash.ToString();
+      }
+    }
+    out += StrFormat(
+        "\n== compression %zu/%zu: %s, n=%llu -> k=%llu, %llu thread(s), "
+        "%s ==\n",
+        b + 1, blocks.size(), block.algorithm.c_str(),
+        static_cast<unsigned long long>(block.n),
+        static_cast<unsigned long long>(block.k),
+        static_cast<unsigned long long>(block.threads), stop_reason.c_str());
+    out += StrFormat("selected %zu, estimated benefit sum %.6g\n",
+                     block.order.size(), benefit_sum);
+    out += StrFormat("selection hash: %s\n", hash_note.c_str());
+    if (!block.reset_rounds.empty()) {
+      out += "feature resets after:";
+      for (const uint64_t r : block.reset_rounds) {
+        out += StrFormat(" %llu", static_cast<unsigned long long>(r));
+      }
+      out += " selected\n";
+    }
+    out += "selection order:";
+    const size_t shown = std::min<size_t>(block.order.size(), 20);
+    for (size_t i = 0; i < shown; ++i) {
+      out += StrFormat(" %zu", block.order[i]);
+    }
+    if (shown < block.order.size()) {
+      out += StrFormat(" ... (%zu more)", block.order.size() - shown);
+    }
+    out += "\n";
+
+    // Contested rounds: smallest winning margin first — the decisions most
+    // sensitive to featurization/weighting changes.
+    std::vector<const JournalEvent*> contested = block.selects;
+    auto gap_of = [](const JournalEvent* e) {
+      auto gap = e->Number("gap");
+      return gap.ok() ? gap.value() : -1.0;
+    };
+    std::stable_sort(contested.begin(), contested.end(),
+                     [&](const JournalEvent* a, const JournalEvent* c) {
+                       const double ga = gap_of(a);
+                       const double gc = gap_of(c);
+                       // Rounds without a runner-up (gap < 0) sort last.
+                       if ((ga < 0.0) != (gc < 0.0)) return gc < 0.0;
+                       return ga < gc;
+                     });
+    if (contested.size() > top_k) contested.resize(top_k);
+    if (!contested.empty()) {
+      out += StrFormat("top %zu contested rounds (smallest winning margin):\n",
+                       contested.size());
+      out += StrFormat("%8s %10s %12s %12s %7s %9s\n", "round", "query",
+                       "benefit", "margin", "shard", "eligible");
+      for (const JournalEvent* e : contested) {
+        auto round = e->Number("round");
+        auto query = e->Number("query");
+        auto benefit = e->Number("benefit");
+        auto shard = e->Number("shard");
+        auto eligible = e->Number("eligible");
+        out += StrFormat(
+            "%8.0f %10.0f %12.6g %12s %7.0f %9.0f\n",
+            round.ok() ? round.value() : -1.0,
+            query.ok() ? query.value() : -1.0,
+            benefit.ok() ? benefit.value() : 0.0,
+            HumanGap(gap_of(e)).c_str(), shard.ok() ? shard.value() : 0.0,
+            eligible.ok() ? eligible.value() : 0.0);
+      }
+    }
+  }
+
+  if (!enum_rounds.empty() || !enum_ends.empty()) {
+    out += StrFormat("\n== enumeration: %zu round(s) ==\n",
+                     enum_rounds.size());
+    if (!enum_rounds.empty()) {
+      out += StrFormat("%8s %11s %11s %12s %11s %10s\n", "round",
+                       "candidates", "picked", "improvement", "cache_hits",
+                       "opt_calls");
+      for (const JournalEvent* e : enum_rounds) {
+        auto round = e->Number("round");
+        auto candidates = e->Number("candidates");
+        auto best = e->Number("best_index");
+        auto improvement = e->Number("improvement");
+        auto hits = e->Number("cache_hits");
+        auto calls = e->Number("optimizer_calls");
+        out += StrFormat(
+            "%8.0f %11.0f %11.0f %12.6g %11.0f %10.0f\n",
+            round.ok() ? round.value() : -1.0,
+            candidates.ok() ? candidates.value() : 0.0,
+            best.ok() ? best.value() : -1.0,
+            improvement.ok() ? improvement.value() : 0.0,
+            hits.ok() ? hits.value() : 0.0, calls.ok() ? calls.value() : 0.0);
+      }
+    }
+    for (const JournalEvent* e : enum_ends) {
+      auto indexes = e->Number("indexes");
+      auto initial = e->Number("initial_cost");
+      auto final_cost = e->Number("final_cost");
+      auto reason = e->String("stop_reason");
+      const double c0 = initial.ok() ? initial.value() : 0.0;
+      const double c1 = final_cost.ok() ? final_cost.value() : 0.0;
+      out += StrFormat(
+          "enumerated %0.f index(es): cost %.6g -> %.6g (%.1f%%), %s\n",
+          indexes.ok() ? indexes.value() : 0.0, c0, c1,
+          c0 > 0.0 ? 100.0 * (c0 - c1) / c0 : 0.0,
+          reason.ok() ? reason.value().c_str() : "?");
+    }
+  }
+
+  if (!attributions.empty()) {
+    out += StrFormat(
+        "\n== benefit attribution (%zu selected queries) ==\n",
+        attributions.size());
+    out += StrFormat("%10s %10s %12s %12s %10s\n", "query", "weight",
+                     "estimated", "realized", "rank_err");
+    // Rank error: |rank by estimated - rank by realized| per query — unit
+    // free, so it works even though the estimate (similarity benefit) and
+    // the realization (cost delta) have different scales.
+    std::vector<size_t> by_est(attributions.size());
+    std::vector<size_t> by_real(attributions.size());
+    for (size_t i = 0; i < attributions.size(); ++i) by_est[i] = by_real[i] = i;
+    auto num_of = [&](size_t i, const char* key) {
+      auto v = attributions[i]->Number(key);
+      return v.ok() ? v.value() : 0.0;
+    };
+    std::stable_sort(by_est.begin(), by_est.end(), [&](size_t a, size_t c) {
+      return num_of(a, "estimated") > num_of(c, "estimated");
+    });
+    std::stable_sort(by_real.begin(), by_real.end(), [&](size_t a, size_t c) {
+      return num_of(a, "realized") > num_of(c, "realized");
+    });
+    std::vector<size_t> est_rank(attributions.size());
+    std::vector<size_t> real_rank(attributions.size());
+    for (size_t r = 0; r < by_est.size(); ++r) est_rank[by_est[r]] = r;
+    for (size_t r = 0; r < by_real.size(); ++r) real_rank[by_real[r]] = r;
+    double total_rank_err = 0.0;
+    for (size_t i = 0; i < attributions.size(); ++i) {
+      const double rank_err =
+          est_rank[i] >= real_rank[i]
+              ? static_cast<double>(est_rank[i] - real_rank[i])
+              : static_cast<double>(real_rank[i] - est_rank[i]);
+      total_rank_err += rank_err;
+      out += StrFormat("%10.0f %10.4g %12.6g %12.6g %10.0f\n",
+                       num_of(i, "query"), num_of(i, "weight"),
+                       num_of(i, "estimated"), num_of(i, "realized"),
+                       rank_err);
+    }
+    out += StrFormat("mean rank error: %.2f over %zu queries\n",
+                     total_rank_err / static_cast<double>(attributions.size()),
+                     attributions.size());
+  }
+
+  if (!incidents.empty()) {
+    out += StrFormat("\n== fault/retry timeline (%zu) ==\n", incidents.size());
+    for (const JournalEvent* e : incidents) {
+      if (e->event == "retry") {
+        auto site = e->String("site");
+        auto attempt = e->Number("attempt");
+        auto backoff = e->Number("backoff_us");
+        out += StrFormat("%14.3fus  retry %s attempt %.0f (backoff %s)\n",
+                         e->t_us,
+                         site.ok() ? site.value().c_str() : "?",
+                         attempt.ok() ? attempt.value() : 0.0,
+                         HumanUs(backoff.ok() ? backoff.value() : 0.0).c_str());
+      } else if (e->event == "fault") {
+        auto site = e->String("site");
+        auto code = e->String("code");
+        out += StrFormat("%14.3fus  FAULT %s surfaced %s\n", e->t_us,
+                         site.ok() ? site.value().c_str() : "?",
+                         code.ok() ? code.value().c_str() : "?");
+      } else {
+        auto reason = e->String("reason");
+        out += StrFormat("%14.3fus  budget stop: %s\n", e->t_us,
+                         reason.ok() ? reason.value().c_str() : "?");
+      }
+    }
+  }
+
+  if (!ticks.empty()) {
+    auto first = ticks.front()->Number("remaining_s");
+    auto last = ticks.back()->Number("remaining_s");
+    out += StrFormat(
+        "\n== budget ==\n%zu consumption tick(s): %.3fs -> %.3fs remaining\n",
+        ticks.size(), first.ok() ? first.value() : 0.0,
+        last.ok() ? last.value() : 0.0);
+  }
+
+  if (pipeline_end != nullptr) {
+    auto algorithm = pipeline_end->String("algorithm");
+    auto k = pipeline_end->Number("k");
+    auto improvement = pipeline_end->Number("improvement_percent");
+    auto reason = pipeline_end->String("stop_reason");
+    out += StrFormat(
+        "\n== pipeline: %s k=%.0f improvement %.2f%% (%s) ==\n",
+        algorithm.ok() ? algorithm.value().c_str() : "?",
+        k.ok() ? k.value() : 0.0,
+        improvement.ok() ? improvement.value() : 0.0,
+        reason.ok() ? reason.value().c_str() : "?");
+  }
+  return out;
+}
+
+// ---- live telemetry (Prometheus text) ----
+
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& content) {
+  std::vector<PromSample> samples;
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line(Trim(raw));
+    if (line.empty() || line.front() == '#') continue;
+    // `name{labels} value` or `name value`.
+    const size_t space = line.find_last_of(' ');
+    if (space == std::string::npos || space == 0) {
+      return Status::ParseError("malformed exposition line: " + line);
+    }
+    PromSample sample;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') {
+        return Status::ParseError("unterminated label block: " + line);
+      }
+      sample.labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    sample.name = std::move(name);
+    char* end = nullptr;
+    sample.value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == line.c_str() + space + 1) {
+      return Status::ParseError("non-numeric sample value: " + line);
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+namespace {
+
+const PromSample* FindSample(const std::vector<PromSample>& samples,
+                             const std::string& name,
+                             const std::string& labels = "") {
+  for (const PromSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double SampleOr(const std::vector<PromSample>& samples,
+                const std::string& name, double fallback) {
+  const PromSample* s = FindSample(samples, name);
+  return s != nullptr ? s->value : fallback;
+}
+
+}  // namespace
+
+std::string WatchFrame(const std::vector<PromSample>& samples) {
+  std::string out;
+
+  const double remaining =
+      SampleOr(samples, "isum_budget_remaining_seconds", -1.0);
+  out += StrFormat("budget remaining: %s\n",
+                   remaining < 0.0 ? "unlimited"
+                                   : StrFormat("%.1fs", remaining).c_str());
+
+  out += StrFormat(
+      "compression: %.0f run(s), %.0f -> %.0f queries\n",
+      SampleOr(samples, "isum_compress_runs", 0.0),
+      SampleOr(samples, "isum_compress_input_queries", 0.0),
+      SampleOr(samples, "isum_compress_selected_queries", 0.0));
+  out += StrFormat(
+      "tuning: %.0f run(s), %.0f enumeration round(s), %.0f config(s) "
+      "explored\n",
+      SampleOr(samples, "isum_advisor_tuning_runs", 0.0),
+      SampleOr(samples, "isum_advisor_enumeration_rounds", 0.0),
+      SampleOr(samples, "isum_advisor_configurations_explored", 0.0));
+
+  const double calls = SampleOr(samples, "isum_whatif_optimizer_calls", 0.0);
+  const double hits = SampleOr(samples, "isum_whatif_cache_hits", 0.0);
+  const double total = calls + hits;
+  out += StrFormat("what-if: %.0f optimizer call(s), %.0f cache hit(s) "
+                   "(%.1f%% hit rate)\n",
+                   calls, hits, total > 0.0 ? 100.0 * hits / total : 0.0);
+  const PromSample* p50 =
+      FindSample(samples, "isum_whatif_optimize_nanos", "quantile=\"0.5\"");
+  const PromSample* p99 =
+      FindSample(samples, "isum_whatif_optimize_nanos", "quantile=\"0.99\"");
+  if (p50 != nullptr && p99 != nullptr) {
+    out += StrFormat("optimize latency: p50 %s  p99 %s\n",
+                     HumanUs(p50->value / 1e3).c_str(),
+                     HumanUs(p99->value / 1e3).c_str());
+  }
+
+  const double retries = SampleOr(samples, "isum_retry_attempts", 0.0);
+  const double faults = SampleOr(samples, "isum_fault_injected", 0.0);
+  const double deadline = SampleOr(samples, "isum_deadline_exceeded", 0.0);
+  if (retries > 0.0 || faults > 0.0 || deadline > 0.0) {
+    out += StrFormat(
+        "robustness: %.0f retry(ies), %.0f fault(s) injected, %.0f deadline "
+        "hit(s)\n",
+        retries, faults, deadline);
+  }
   return out;
 }
 

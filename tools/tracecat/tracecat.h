@@ -87,6 +87,62 @@ StatusOr<std::vector<BenchRecord>> ParseBenchJson(const std::string& content);
 /// summary line. This is the per-phase diff between two recorded baselines.
 std::string BenchDelta(const BenchRecord& from, const BenchRecord& to);
 
+/// ---- decision-provenance journal (isum-events-v1, src/obs/journal.h) ----
+
+/// One parsed journal line. The envelope fields every event carries are
+/// lifted out; event-specific fields stay in `line` and are extracted on
+/// demand via Number()/String() (the journal writes flat one-line objects,
+/// so the JSONL helpers reach every field).
+struct JournalEvent {
+  std::string event;  ///< e.g. "select", "compress_end"
+  uint64_t seq = 0;
+  double t_us = 0.0;
+  std::string line;  ///< the cleaned full line
+
+  StatusOr<double> Number(const std::string& key) const;
+  StatusOr<std::string> String(const std::string& key) const;
+  bool Has(const std::string& key) const;
+};
+
+/// Parses an isum-events-v1 journal. Errors on lines without the
+/// event/seq/t_us envelope; event-specific validation is CheckJournal's job.
+StatusOr<std::vector<JournalEvent>> ParseJournal(const std::string& content);
+
+/// Schema validation for `tracecat explain --check`: journal_begin first
+/// (with the right schema tag), known event types only, required per-event
+/// fields present, dense seq numbering, and every compress_end's
+/// selection_hash equal to the hash recomputed from its block's select
+/// events. Returns the number of events validated.
+StatusOr<size_t> CheckJournal(const std::vector<JournalEvent>& events);
+
+/// Reconstructs the run: per compression block the greedy trajectory
+/// (selection order, recomputed-vs-recorded hash, top-k contested rounds by
+/// smallest winning margin, feature resets), enumeration rounds, the
+/// estimated-vs-realized benefit attribution table, the fault/retry
+/// timeline, and the budget timeline. Errors only on events so malformed
+/// the reconstruction cannot proceed (run CheckJournal for strictness).
+StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
+                                     size_t top_k);
+
+/// ---- live telemetry (Prometheus text, src/obs/exporter.h) ----
+
+/// One sample of a Prometheus text exposition: `name{labels} value`.
+struct PromSample {
+  std::string name;    ///< metric name without labels, e.g. "isum_whatif_cache_hits"
+  std::string labels;  ///< raw label block without braces ("" when absent)
+  double value = 0.0;
+};
+
+/// Parses the Prometheus/OpenMetrics text obs::PrometheusText writes
+/// (`# TYPE` comments are skipped; any other `#` comment too).
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& content);
+
+/// Renders one `tracecat watch` frame from a snapshot: compression/tuning
+/// progress counters, what-if hit rate, retry/fault health, and the
+/// exporter's budget.remaining_seconds gauge.
+std::string WatchFrame(const std::vector<PromSample>& samples);
+
 }  // namespace isum::tracecat
 
 #endif  // ISUM_TOOLS_TRACECAT_TRACECAT_H_
