@@ -15,10 +15,6 @@
 
 #include <cstdlib>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "baselines/gsum.h"
 #include "baselines/kmedoid.h"
 #include "baselines/simple.h"
@@ -31,6 +27,8 @@
 #include "obs/exporter.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "workload/workload_factory.h"
 
@@ -65,28 +63,108 @@ class BenchJson {
     return *instance;
   }
 
-  void AddRun(BenchRun run) { runs_.push_back(std::move(run)); }
+  /// Records one measured unit of work, stamping it with the current RSS
+  /// (obs/process_stats.h) as `rss_after_bytes` and the RSS at the
+  /// previous boundary as `rss_before_bytes`. Run records are the bench's
+  /// phase boundaries, so memory growth becomes attributable per phase
+  /// instead of one process-global peak (docs/BENCHMARKING.md, "memory
+  /// workflow").
+  void AddRun(BenchRun run) {
+    const uint64_t rss = obs::ProcessCurrentRssBytes();
+    run.numbers.emplace_back("rss_before_bytes",
+                             static_cast<double>(last_rss_bytes_));
+    run.numbers.emplace_back("rss_after_bytes", static_cast<double>(rss));
+    last_rss_bytes_ = rss;
+    runs_.push_back(std::move(run));
+  }
   const std::vector<BenchRun>& runs() const { return runs_; }
+
+  /// Resets the `rss_before_bytes` baseline without recording a run;
+  /// ObsScope calls it at startup so the first run's delta starts at the
+  /// driver's entry footprint, not zero.
+  void MarkRssBoundary() { last_rss_bytes_ = obs::ProcessCurrentRssBytes(); }
 
  private:
   BenchJson() = default;
   std::vector<BenchRun> runs_;
+  uint64_t last_rss_bytes_ = 0;
 };
 
 /// Peak resident set size of this process in bytes (0 where unsupported).
-inline uint64_t PeakRssBytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
-#endif
-#else
-  return 0;
-#endif
-}
+/// The implementation — with its Linux-KiB/macOS-bytes ru_maxrss quirk —
+/// lives in src/obs/process_stats.h, shared with the MetricsExporter's
+/// isum_process_* gauges.
+inline uint64_t PeakRssBytes() { return obs::ProcessPeakRssBytes(); }
+
+/// The parsed observability flags of one bench invocation. Split out of
+/// ObsScope so the argv handling is directly testable
+/// (tests/bench_util_test.cc): Parse() consumes every flag it recognizes
+/// and compacts argv/argc around them, leaving unknown arguments for the
+/// driver's own parser in their original order.
+struct ObsFlags {
+  std::string bench_name = "bench";  ///< BaseName(argv[0])
+  std::string trace_path;
+  std::string metrics_path;
+  std::string bench_json_path;
+  std::string bench_label = "run";
+  std::string journal_path;
+  std::string metrics_snapshot_path;
+  std::string faults_spec;
+  std::string profile_path;
+  uint64_t trace_every = 1;
+  double time_budget_seconds = 0.0;
+  int serve_metrics_port = -1;  ///< -1 = no listener
+  int profile_hz = 100;
+  bool profile_alloc = false;
+
+  static ObsFlags Parse(int& argc, char** argv) {
+    ObsFlags flags;
+    if (argc > 0) flags.bench_name = BaseName(argv[0]);
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trace=", 8) == 0) {
+        flags.trace_path = arg + 8;
+      } else if (std::strncmp(arg, "--trace-every=", 14) == 0) {
+        flags.trace_every = std::strtoull(arg + 14, nullptr, 10);
+      } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        flags.metrics_path = arg + 10;
+      } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+        flags.bench_json_path = arg + 13;
+      } else if (std::strncmp(arg, "--bench-label=", 14) == 0) {
+        flags.bench_label = arg + 14;
+      } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+        flags.journal_path = arg + 10;
+      } else if (std::strncmp(arg, "--serve-metrics=", 16) == 0) {
+        flags.serve_metrics_port =
+            static_cast<int>(std::strtol(arg + 16, nullptr, 10));
+      } else if (std::strncmp(arg, "--metrics-snapshot=", 19) == 0) {
+        flags.metrics_snapshot_path = arg + 19;
+      } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+        flags.profile_path = arg + 10;
+      } else if (std::strncmp(arg, "--profile-hz=", 13) == 0) {
+        flags.profile_hz = static_cast<int>(std::strtol(arg + 13, nullptr, 10));
+      } else if (std::strncmp(arg, "--profile-alloc=", 16) == 0) {
+        flags.profile_alloc = std::strtol(arg + 16, nullptr, 10) != 0;
+      } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+        flags.faults_spec = arg + 9;
+      } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
+        flags.time_budget_seconds = std::strtod(arg + 14, nullptr);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    return flags;
+  }
+
+  static std::string BaseName(const char* argv0) {
+    std::string name(argv0);
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    return name;
+  }
+};
 
 /// Uniform observability flags for every bench driver. Declare one at the
 /// top of main():
@@ -127,48 +205,27 @@ inline uint64_t PeakRssBytes() {
 ///                      per second (and finally at exit) — the air-gapped
 ///                      companion of --serve-metrics for CI artifacts and
 ///                      `tracecat watch <path>`
+///   --profile=<path>   run the sampling CPU profiler (obs/profiler.h) for
+///                      the whole run; written as an isum-profile-v1 record
+///                      plus a flamegraph.pl-ready <path>.collapsed file.
+///                      Enables the tracer so samples attribute to phases.
+///                      Read with `tracecat profile <path>`
+///   --profile-hz=<n>   SIGPROF sampling frequency in Hz of CPU time
+///                      (with --profile; default 100)
+///   --profile-alloc=<0|1> also account operator new/delete per phase
+///                      (with --profile; needs a -DISUM_OBS_PROFILING=ON
+///                      build, otherwise ignored with a warning)
 ///
 /// Files are written from the destructor, after the driver's work joined.
 class ObsScope {
  public:
   ObsScope(int& argc, char** argv) {
     obs::Tracer::Global().SetCurrentThreadName("main");
-    int kept = 1;
-    std::string faults_spec;
-    std::string metrics_snapshot_path;
-    double time_budget_seconds = 0.0;
-    uint64_t trace_every = 1;
-    int serve_metrics_port = -1;
-    bench_name_ = argc > 0 ? BaseName(argv[0]) : "bench";
-    for (int i = 1; i < argc; ++i) {
-      const char* arg = argv[i];
-      if (std::strncmp(arg, "--trace=", 8) == 0) {
-        trace_path_ = arg + 8;
-      } else if (std::strncmp(arg, "--trace-every=", 14) == 0) {
-        trace_every = std::strtoull(arg + 14, nullptr, 10);
-      } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
-        metrics_path_ = arg + 10;
-      } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
-        bench_json_path_ = arg + 13;
-      } else if (std::strncmp(arg, "--bench-label=", 14) == 0) {
-        bench_label_ = arg + 14;
-      } else if (std::strncmp(arg, "--journal=", 10) == 0) {
-        journal_path_ = arg + 10;
-      } else if (std::strncmp(arg, "--serve-metrics=", 16) == 0) {
-        serve_metrics_port = static_cast<int>(std::strtol(arg + 16, nullptr, 10));
-      } else if (std::strncmp(arg, "--metrics-snapshot=", 19) == 0) {
-        metrics_snapshot_path = arg + 19;
-      } else if (std::strncmp(arg, "--faults=", 9) == 0) {
-        faults_spec = arg + 9;
-      } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
-        time_budget_seconds = std::strtod(arg + 14, nullptr);
-      } else {
-        argv[kept++] = argv[i];
-      }
-    }
-    argc = kept;
-    if (!faults_spec.empty()) {
-      const Status status = FaultInjector::Global().Configure(faults_spec);
+    flags_ = ObsFlags::Parse(argc, argv);
+    BenchJson::Global().MarkRssBoundary();
+    if (!flags_.faults_spec.empty()) {
+      const Status status =
+          FaultInjector::Global().Configure(flags_.faults_spec);
       if (!status.ok()) {
         std::fprintf(stderr, "bad --faults spec: %s\n",
                      status.ToString().c_str());
@@ -183,26 +240,30 @@ class ObsScope {
         std::exit(2);
       }
     }
-    if (time_budget_seconds > 0.0) {
-      InstallAmbientBudget(TimeBudget::After(time_budget_seconds));
+    if (flags_.time_budget_seconds > 0.0) {
+      InstallAmbientBudget(TimeBudget::After(flags_.time_budget_seconds));
     }
-    obs::Tracer::Global().SetSampleEvery(trace_every);
-    if (!trace_path_.empty() || !bench_json_path_.empty()) {
+    obs::Tracer::Global().SetSampleEvery(flags_.trace_every);
+    // The profiler attributes samples through the tracer's span stack, so
+    // --profile= enables tracing like --bench-json= does.
+    if (!flags_.trace_path.empty() || !flags_.bench_json_path.empty() ||
+        !flags_.profile_path.empty()) {
       obs::Tracer::Global().Enable();
     }
-    if (!journal_path_.empty()) {
+    if (!flags_.journal_path.empty()) {
       const std::string label =
-          bench_label_ != "run" ? bench_label_ : bench_name_;
-      if (!obs::Journal::Global().Open(journal_path_, label)) {
+          flags_.bench_label != "run" ? flags_.bench_label : flags_.bench_name;
+      if (!obs::Journal::Global().Open(flags_.journal_path, label)) {
         std::fprintf(stderr, "cannot open --journal=%s\n",
-                     journal_path_.c_str());
+                     flags_.journal_path.c_str());
         std::exit(2);
       }
     }
-    if (serve_metrics_port >= 0 || !metrics_snapshot_path.empty()) {
+    if (flags_.serve_metrics_port >= 0 ||
+        !flags_.metrics_snapshot_path.empty()) {
       obs::MetricsExporterOptions exporter_options;
-      exporter_options.http_port = serve_metrics_port;
-      exporter_options.snapshot_path = std::move(metrics_snapshot_path);
+      exporter_options.http_port = flags_.serve_metrics_port;
+      exporter_options.snapshot_path = flags_.metrics_snapshot_path;
       exporter_ = std::make_unique<obs::MetricsExporter>(
           &obs::MetricsRegistry::Global(), std::move(exporter_options));
       const Status status = exporter_->Start();
@@ -211,9 +272,27 @@ class ObsScope {
                      status.ToString().c_str());
         std::exit(2);
       }
-      if (serve_metrics_port >= 0) {
+      if (flags_.serve_metrics_port >= 0) {
         std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
                      exporter_->port());
+      }
+    }
+    if (!flags_.profile_path.empty()) {
+      if (flags_.profile_alloc && !obs::Profiler::alloc_hooks_compiled()) {
+        std::fprintf(stderr,
+                     "--profile-alloc=1 ignored: build with "
+                     "-DISUM_OBS_PROFILING=ON to compile the alloc hooks\n");
+      }
+      obs::ProfilerOptions profiler_options;
+      profiler_options.sample_hz = flags_.profile_hz;
+      profiler_options.track_allocations = flags_.profile_alloc;
+      if (obs::Profiler::Global().Start(profiler_options)) {
+        profiling_ = true;
+      } else {
+        // Keep the bench usable: the run still executes, just unprofiled.
+        std::fprintf(stderr, "--profile=%s: profiler failed to start "
+                             "(unsupported platform?); continuing without\n",
+                     flags_.profile_path.c_str());
       }
     }
     start_ = std::chrono::steady_clock::now();
@@ -224,38 +303,58 @@ class ObsScope {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    // Shut down the exporter first (joins its worker and writes the final
+    // Stop the profiler before anything else: Stop() publishes the
+    // allocation gauges into the registry, so the exporter's final snapshot
+    // and the --metrics= dump below both see them.
+    obs::ProfileDump profile;
+    if (profiling_) profile = obs::Profiler::Global().Stop();
+    // Shut down the exporter next (joins its worker and writes the final
     // snapshot), then close the journal so `journal_end` is the last event.
     exporter_.reset();
-    if (!journal_path_.empty()) {
+    if (!flags_.journal_path.empty()) {
       const uint64_t events = obs::Journal::Global().events_written();
       obs::Journal::Global().Close();
       std::fprintf(stderr, "wrote %llu journal events to %s\n",
                    static_cast<unsigned long long>(events + 1),
-                   journal_path_.c_str());
+                   flags_.journal_path.c_str());
     }
     obs::TraceDump dump;
-    if (!trace_path_.empty() || !bench_json_path_.empty()) {
+    if (!flags_.trace_path.empty() || !flags_.bench_json_path.empty() ||
+        !flags_.profile_path.empty()) {
       obs::Tracer::Global().Disable();
       dump = obs::Tracer::Global().Drain();
     }
-    if (!trace_path_.empty()) {
-      Report(obs::WriteFile(trace_path_, obs::ChromeTraceJson(dump)),
-             trace_path_, dump.spans.size(), "spans");
+    if (!flags_.trace_path.empty()) {
+      Report(obs::WriteFile(flags_.trace_path, obs::ChromeTraceJson(dump)),
+             flags_.trace_path, dump.spans.size(), "spans");
     }
-    if (!metrics_path_.empty()) {
+    if (!flags_.metrics_path.empty()) {
       const obs::MetricsSnapshot snapshot =
           obs::MetricsRegistry::Global().Snapshot();
-      Report(obs::WriteFile(metrics_path_, obs::MetricsJsonl(snapshot)),
-             metrics_path_,
+      Report(obs::WriteFile(flags_.metrics_path, obs::MetricsJsonl(snapshot)),
+             flags_.metrics_path,
              snapshot.counters.size() + snapshot.gauges.size() +
                  snapshot.histograms.size(),
              "metrics");
     }
-    if (!bench_json_path_.empty()) {
+    if (!flags_.bench_json_path.empty()) {
       const std::string record = RenderBenchJson(dump, wall_seconds);
-      Report(obs::WriteFile(bench_json_path_, record), bench_json_path_,
-             BenchJson::Global().runs().size(), "bench runs");
+      Report(obs::WriteFile(flags_.bench_json_path, record),
+             flags_.bench_json_path, BenchJson::Global().runs().size(),
+             "bench runs");
+    }
+    if (profiling_) {
+      obs::ProfileMeta meta;
+      meta.label = flags_.bench_label;
+      meta.bench = flags_.bench_name;
+      meta.git_rev = ISUM_GIT_REV;
+      meta.wall_seconds = wall_seconds;
+      Report(obs::WriteFile(flags_.profile_path,
+                            obs::ProfileJson(profile, meta)),
+             flags_.profile_path, profile.samples, "profile samples");
+      const std::string collapsed_path = flags_.profile_path + ".collapsed";
+      Report(obs::WriteFile(collapsed_path, obs::CollapsedStacks(profile)),
+             collapsed_path, profile.stacks.size(), "collapsed stacks");
     }
   }
 
@@ -271,13 +370,6 @@ class ObsScope {
       std::fprintf(stderr, "obs export failed: %s\n",
                    status.ToString().c_str());
     }
-  }
-
-  static std::string BaseName(const char* argv0) {
-    std::string name(argv0);
-    const size_t slash = name.find_last_of('/');
-    if (slash != std::string::npos) name = name.substr(slash + 1);
-    return name;
   }
 
   /// Renders one self-contained bench record. The layout is valid JSON kept
@@ -321,8 +413,8 @@ class ObsScope {
     std::string out;
     out += "{\n";
     out += "\"schema\": \"isum-bench-v1\",\n";
-    out += StrFormat("\"label\": \"%s\",\n", bench_label_.c_str());
-    out += StrFormat("\"bench\": \"%s\",\n", bench_name_.c_str());
+    out += StrFormat("\"label\": \"%s\",\n", flags_.bench_label.c_str());
+    out += StrFormat("\"bench\": \"%s\",\n", flags_.bench_name.c_str());
     out += StrFormat("\"git_rev\": \"%s\",\n", ISUM_GIT_REV);
     out += StrFormat("\"wall_seconds\": %.6f,\n", wall_seconds);
     out += StrFormat("\"peak_rss_bytes\": %llu,\n",
@@ -365,12 +457,8 @@ class ObsScope {
     return out;
   }
 
-  std::string trace_path_;
-  std::string metrics_path_;
-  std::string bench_json_path_;
-  std::string bench_label_ = "run";
-  std::string bench_name_;
-  std::string journal_path_;
+  ObsFlags flags_;
+  bool profiling_ = false;
   std::unique_ptr<obs::MetricsExporter> exporter_;
   std::chrono::steady_clock::time_point start_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace isum::obs {
@@ -40,6 +41,29 @@ std::string MetricsJsonl(const MetricsSnapshot& snapshot);
 /// `isum_`. Served by MetricsExporter (obs/exporter.h) and written as
 /// air-gapped snapshot files; parsed back by tracecat watch.
 std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Run metadata stamped into an isum-profile-v1 record, mirroring the
+/// isum-bench-v1 header fields so the two artifacts of one run correlate.
+struct ProfileMeta {
+  std::string label;
+  std::string bench;
+  std::string git_rev;
+  double wall_seconds = 0.0;
+};
+
+/// Renders `dump` in the collapsed-stack format flamegraph.pl consumes:
+/// one `phase;outer;...;leaf count` line per unique stack, so the phase is
+/// the flame root and frames fan out under it. Samples outside any span
+/// root at "(unattributed)"; semicolons inside frame names become ':'.
+/// ObsScope writes this next to --profile= as `<path>.collapsed`.
+std::string CollapsedStacks(const ProfileDump& dump);
+
+/// Renders `dump` as a structured isum-profile-v1 record: one JSON object,
+/// line-disciplined like isum-bench-v1 (one scalar or object per line), with
+/// per-phase sample totals, top frames by self/total samples, and the
+/// allocation hot-list. Read back by `tracecat profile`; schema documented
+/// in docs/OBSERVABILITY.md.
+std::string ProfileJson(const ProfileDump& dump, const ProfileMeta& meta);
 
 /// Writes `content` to `path` (helper shared by the bench drivers).
 Status WriteFile(const std::string& path, const std::string& content);

@@ -15,6 +15,7 @@
 #include "common/deadline.h"
 #include "common/string_util.h"
 #include "obs/export.h"
+#include "obs/process_stats.h"
 
 namespace isum::obs {
 
@@ -136,6 +137,14 @@ bool MetricsExporter::Tick() {
         static_cast<double>(budget.deadline().remaining_nanos()) * 1e-9;
   }
   registry_->GetGauge("budget.remaining_seconds")->Set(remaining);
+  // Process-level health next to the registry metrics, so /metrics answers
+  // "is this run leaking / spinning / fanning out" without a second tool
+  // (obs/process_stats.h; published as isum_process_*).
+  registry_->GetGauge("process.peak_rss_bytes")
+      ->Set(static_cast<double>(ProcessPeakRssBytes()));
+  registry_->GetGauge("process.cpu_seconds_total")->Set(ProcessCpuSeconds());
+  registry_->GetGauge("process.threads")
+      ->Set(static_cast<double>(ProcessThreadCount()));
   WriteSnapshotFile();
   // Budget-aware shutdown: once the run's ambient budget is gone, the last
   // snapshot above is final and the surfaces go away with the run.

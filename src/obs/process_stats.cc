@@ -1,0 +1,87 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ISUM_PROCESS_STATS_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace isum::obs {
+
+namespace {
+
+/// Scans /proc/self/status for `key` (e.g. "VmRSS:") and returns its
+/// numeric field, or ~0 when the file or key is unavailable. Values with a
+/// "kB" suffix are what the callers expect; scaling is theirs.
+constexpr uint64_t kStatusUnavailable = ~uint64_t{0};
+
+uint64_t ProcSelfStatusField(const char* key) {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "re");
+  if (file == nullptr) return kStatusUnavailable;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  uint64_t value = kStatusUnavailable;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      value = std::strtoull(line + key_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(file);
+  return value;
+#else
+  (void)key;
+  return kStatusUnavailable;
+#endif
+}
+
+}  // namespace
+
+uint64_t ProcessPeakRssBytes() {
+#ifdef ISUM_PROCESS_STATS_HAVE_RUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+uint64_t ProcessCurrentRssBytes() {
+  const uint64_t kib = ProcSelfStatusField("VmRSS:");
+  if (kib != kStatusUnavailable) return kib * 1024;
+#if defined(__APPLE__)
+  return ProcessPeakRssBytes();
+#else
+  return 0;
+#endif
+}
+
+double ProcessCpuSeconds() {
+#ifdef ISUM_PROCESS_STATS_HAVE_RUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+uint64_t ProcessThreadCount() {
+  const uint64_t threads = ProcSelfStatusField("Threads:");
+  return threads != kStatusUnavailable ? threads : 0;
+}
+
+}  // namespace isum::obs

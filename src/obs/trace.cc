@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/profiler.h"
+
 namespace isum::obs {
 
 Tracer& Tracer::Global() {
@@ -93,6 +95,10 @@ void TraceSpan::Begin(Tracer& tracer, const char* name) {
   }
   name_ = name;
   depth_ = state_->depth++;
+  // Publish this span as the thread's innermost phase for the sampling
+  // profiler (obs/profiler.h); sampled-out spans (the skip path above)
+  // deliberately stay invisible to it.
+  internal::PushPhase(name_);
   start_raw_nanos_ = tracer.NowNanos();
   const uint64_t session_start =
       tracer.session_start_nanos_.load(std::memory_order_relaxed);
@@ -105,6 +111,7 @@ void TraceSpan::End() {
     --state_->skip_depth;
     return;
   }
+  internal::PopPhase();
   Tracer& tracer = Tracer::Global();
   const uint64_t end = tracer.NowNanos();
   SpanRecord record;

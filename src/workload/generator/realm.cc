@@ -3,6 +3,7 @@
 #include "catalog/schema_builder.h"
 #include "common/log.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "stats/data_generator.h"
 #include "workload/generator/recipe.h"
 #include "workload/workload_factory.h"
@@ -128,6 +129,7 @@ gen::SchemaGraph BuildRealmSchema(catalog::Catalog* cat,
 }  // namespace
 
 GeneratedWorkload MakeRealM(const GeneratorOptions& options) {
+  ISUM_TRACE_SPAN("workload/generate");
   GeneratedWorkload out;
   out.name = "Real-M";
   out.catalog = std::make_unique<catalog::Catalog>();

@@ -1,4 +1,5 @@
 #include "common/log.h"
+#include "obs/trace.h"
 #include "workload/generator/star_schema.h"
 #include "workload/workload_factory.h"
 
@@ -29,6 +30,7 @@ void Instantiate(const std::vector<gen::TemplateRecipe>& recipes, int instances,
 }  // namespace
 
 GeneratedWorkload MakeTpcds(const GeneratorOptions& options) {
+  ISUM_TRACE_SPAN("workload/generate");
   GeneratedWorkload out;
   out.name = "TPC-DS";
   out.catalog = std::make_unique<catalog::Catalog>();
@@ -63,6 +65,7 @@ GeneratedWorkload MakeTpcds(const GeneratorOptions& options) {
 }
 
 GeneratedWorkload MakeDsb(const GeneratorOptions& options, DsbClass query_class) {
+  ISUM_TRACE_SPAN("workload/generate");
   GeneratedWorkload out;
   out.name = "DSB";
   out.catalog = std::make_unique<catalog::Catalog>();

@@ -3,6 +3,7 @@
 
 #include "catalog/schema_builder.h"
 #include "common/log.h"
+#include "obs/trace.h"
 #include "common/string_util.h"
 #include "sql/binder.h"
 #include "stats/data_generator.h"
@@ -456,6 +457,7 @@ std::vector<TemplateFn> BuildTemplates() {
 }  // namespace
 
 GeneratedWorkload MakeTpch(const GeneratorOptions& options) {
+  ISUM_TRACE_SPAN("workload/generate");
   GeneratedWorkload out;
   out.name = "TPC-H";
   out.catalog = std::make_unique<catalog::Catalog>();

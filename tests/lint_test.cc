@@ -482,15 +482,16 @@ TEST(LintOutput, ViolationFormatsAsFileLineCol) {
                               "use ISUM_CHECK or return a Status");
 }
 
-TEST(LintRules, KnownRulesListsAllTwelveRules) {
+TEST(LintRules, KnownRulesListsAllThirteenRules) {
   const auto rules = KnownRules();
-  EXPECT_EQ(rules.size(), 12u);
+  EXPECT_EQ(rules.size(), 13u);
   for (const char* r :
        {"isum-no-assert", "isum-no-stdio", "isum-no-nondeterminism",
         "isum-include-guard", "isum-missing-override",
         "isum-unchecked-status", "isum-no-raw-clock",
         "isum-no-perpair-alloc", "isum-budget-poll", "isum-lock-scope",
-        "isum-guarded-by", "isum-journal-schema"}) {
+        "isum-guarded-by", "isum-journal-schema",
+        "isum-no-alloc-in-signal"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
 }
@@ -759,6 +760,65 @@ TEST(LintGuardedBy, TemplateArgumentsAndIncludesAreNotDeclarations) {
                    "  std::unique_lock<std::mutex> lk(mu, std::defer_lock);\n"
                    "}\n")
                   .empty());
+}
+
+TEST(LintNoAllocInSignal, FlagsAllocationLockingAndStdioInAnnotatedBody) {
+  const auto vs =
+      Lint("src/obs/handler.cc",
+           "ISUM_SIGNAL_SAFE void Handler(int sig) {\n"
+           "  char* p = new char[64];\n"
+           "  void* q = malloc(64);\n"
+           "  MutexLock lock(mu_);\n"
+           "  fprintf(stderr, \"tick\\n\");\n"
+           "}\n");
+  EXPECT_EQ(std::count_if(vs.begin(), vs.end(),
+                          [](const Violation& v) {
+                            return v.rule == "isum-no-alloc-in-signal";
+                          }),
+            4);
+}
+
+TEST(LintNoAllocInSignal, ScopeEndsAtTheBodyBrace) {
+  // The same operations right after the annotated body are legal.
+  const auto vs = Lint("src/obs/handler.cc",
+                       "ISUM_SIGNAL_SAFE void Handler(int sig) {\n"
+                       "  if (armed) {\n"
+                       "    counter.fetch_add(1);\n"
+                       "  }\n"
+                       "}\n"
+                       "void Setup() {\n"
+                       "  buffer = new char[1 << 20];\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(vs, "isum-no-alloc-in-signal"));
+}
+
+TEST(LintNoAllocInSignal, AnnotatedDeclarationDoesNotArm) {
+  // A declaration ends at ';' — the next function body is unannotated.
+  EXPECT_FALSE(HasRule(Lint("src/obs/handler.h",
+                            "#ifndef ISUM_OBS_HANDLER_H_\n"
+                            "#define ISUM_OBS_HANDLER_H_\n"
+                            "ISUM_SIGNAL_SAFE const char* CurrentPhase();\n"
+                            "inline void Helper() { p = malloc(8); }\n"
+                            "#endif  // ISUM_OBS_HANDLER_H_\n"),
+                       "isum-no-alloc-in-signal"));
+}
+
+TEST(LintNoAllocInSignal, SafePatternsAndNolintPass) {
+  // The real handler shape: atomics, arrays, errno save/restore.
+  EXPECT_FALSE(HasRule(Lint("src/obs/profiler.cc",
+                            "ISUM_SIGNAL_SAFE void Handler(int sig) {\n"
+                            "  const int saved_errno = errno;\n"
+                            "  Buffer* b = g_buffer.load();\n"
+                            "  if (b) b->next.fetch_add(1);\n"
+                            "  errno = saved_errno;\n"
+                            "}\n"),
+                       "isum-no-alloc-in-signal"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/obs/handler.cc",
+           "ISUM_SIGNAL_SAFE void Handler(int sig) {\n"
+           "  p = malloc(8);  // NOLINT(isum-no-alloc-in-signal)\n"
+           "}\n"),
+      "isum-no-alloc-in-signal"));
 }
 
 // ------------------------------------------------- fixes and output

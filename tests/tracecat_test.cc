@@ -448,6 +448,209 @@ TEST(TracecatWatch, RejectsMalformedExposition) {
   EXPECT_TRUE(empty.value().empty());
 }
 
+// ---- bench RSS gate ----
+
+TEST(TracecatBenchRss, PassesWithinToleranceAndOnShrink) {
+  auto record = [](uint64_t rss) {
+    BenchRecord r;
+    r.git_rev = "abc1234";
+    r.peak_rss_bytes = rss;
+    return r;
+  };
+  // +5% growth under the +10% default.
+  EXPECT_TRUE(
+      CheckBenchRss({record(100 << 20), record(105 << 20)}, 10.0).ok());
+  // Shrinking is never a regression, whatever the tolerance.
+  EXPECT_TRUE(CheckBenchRss({record(100 << 20), record(50 << 20)}, 0.0).ok());
+  // Single record or unsupported platform (rss 0): nothing to compare.
+  EXPECT_TRUE(CheckBenchRss({record(100 << 20)}, 10.0).ok());
+  EXPECT_TRUE(CheckBenchRss({record(0), record(100 << 20)}, 10.0).ok());
+}
+
+TEST(TracecatBenchRss, FailsPastToleranceFirstToLast) {
+  auto record = [](uint64_t rss) {
+    BenchRecord r;
+    r.git_rev = "abc1234";
+    r.peak_rss_bytes = rss;
+    return r;
+  };
+  const Status grown =
+      CheckBenchRss({record(100 << 20), record(125 << 20)}, 10.0);
+  EXPECT_FALSE(grown.ok());
+  EXPECT_NE(grown.ToString().find("+25.0%"), std::string::npos);
+  // The gate compares first -> last; a middle spike that settles passes.
+  EXPECT_TRUE(CheckBenchRss(
+                  {record(100 << 20), record(150 << 20), record(105 << 20)},
+                  10.0)
+                  .ok());
+  // A tighter tolerance catches the same delta.
+  EXPECT_FALSE(
+      CheckBenchRss({record(100 << 20), record(105 << 20)}, 2.0).ok());
+}
+
+// ---- sampling profiles ----
+
+/// A hand-written isum-profile-v1 record matching obs::ProfileJson's
+/// layout exactly (one key per line, sections as line-disciplined arrays).
+std::string SampleProfileRecord() {
+  std::string out;
+  out += "{\n";
+  out += "\"schema\": \"isum-profile-v1\",\n";
+  out += "\"label\": \"run\",\n";
+  out += "\"bench\": \"bench_fig2_scalability\",\n";
+  out += "\"git_rev\": \"abc1234\",\n";
+  out += "\"sample_hz\": 100,\n";
+  out += "\"wall_seconds\": 2.500000,\n";
+  out += "\"samples\": 200,\n";
+  out += "\"dropped\": 3,\n";
+  out += "\"attributed_samples\": 190,\n";
+  out += "\"attributed_percent\": 95.00,\n";
+  out += "\"alloc_enabled\": 1,\n";
+  out += "\"alloc_total_bytes\": 4096,\n";
+  out += "\"alloc_total_count\": 8,\n";
+  out += "\"alloc_live_bytes\": -128,\n";
+  out += "\"alloc_peak_bytes\": 2048,\n";
+  out += "\"phases\": [\n";
+  out += "{\"name\": \"compress/greedy-pick\", \"samples\": 150, "
+         "\"percent\": 75.00},\n";
+  out += "{\"name\": \"whatif/optimize\", \"samples\": 40, "
+         "\"percent\": 20.00},\n";
+  out += "{\"name\": \"(unattributed)\", \"samples\": 10, "
+         "\"percent\": 5.00}\n";
+  out += "],\n";
+  out += "\"frames\": [\n";
+  out += "{\"name\": \"isum::core::Score\", \"self\": 120, \"total\": 150},\n";
+  out += "{\"name\": \"main\", \"self\": 10, \"total\": 200}\n";
+  out += "],\n";
+  out += "\"alloc_phases\": [\n";
+  out += "{\"name\": \"compress/greedy-pick\", \"bytes\": 3072, "
+         "\"count\": 6},\n";
+  out += "{\"name\": \"(unattributed)\", \"bytes\": 1024, \"count\": 2}\n";
+  out += "]\n";
+  out += "}\n";
+  return out;
+}
+
+TEST(TracecatProfile, ParsesFullRecord) {
+  const auto parsed = ParseProfileJson(SampleProfileRecord());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ProfileRecord& r = parsed.value();
+  EXPECT_EQ(r.label, "run");
+  EXPECT_EQ(r.bench, "bench_fig2_scalability");
+  EXPECT_EQ(r.git_rev, "abc1234");
+  EXPECT_EQ(r.sample_hz, 100);
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 2.5);
+  EXPECT_EQ(r.samples, 200u);
+  EXPECT_EQ(r.dropped, 3u);
+  EXPECT_EQ(r.attributed_samples, 190u);
+  EXPECT_DOUBLE_EQ(r.attributed_percent, 95.0);
+  EXPECT_TRUE(r.alloc_enabled);
+  EXPECT_EQ(r.alloc_total_bytes, 4096u);
+  EXPECT_EQ(r.alloc_live_bytes, -128);
+  EXPECT_EQ(r.alloc_peak_bytes, 2048u);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].name, "compress/greedy-pick");
+  EXPECT_EQ(r.phases[0].samples, 150u);
+  ASSERT_EQ(r.frames.size(), 2u);
+  EXPECT_EQ(r.frames[0].name, "isum::core::Score");
+  EXPECT_EQ(r.frames[0].self, 120u);
+  EXPECT_EQ(r.frames[0].total, 150u);
+  ASSERT_EQ(r.alloc_phases.size(), 2u);
+  EXPECT_EQ(r.alloc_phases[0].bytes, 3072u);
+}
+
+TEST(TracecatProfile, RoundTripsEmitterOutput) {
+  obs::ProfileDump dump;
+  dump.sample_hz = 500;
+  dump.samples = 4;
+  dump.attributed = 3;
+  dump.stacks.push_back(
+      obs::ProfileStack{"compress/greedy-pick", {"main", "Greedy"}, 3});
+  dump.stacks.push_back(obs::ProfileStack{"", {"main"}, 1});
+  obs::ProfileMeta meta;
+  meta.label = "smoke";
+  meta.bench = "bench_x";
+  meta.git_rev = "deadbee";
+  meta.wall_seconds = 0.25;
+  const auto parsed = ParseProfileJson(obs::ProfileJson(dump, meta));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().label, "smoke");
+  EXPECT_EQ(parsed.value().sample_hz, 500);
+  EXPECT_EQ(parsed.value().samples, 4u);
+  ASSERT_EQ(parsed.value().phases.size(), 2u);
+  EXPECT_EQ(parsed.value().phases[0].name, "compress/greedy-pick");
+  const auto checked = CheckProfile(parsed.value(), 70.0);
+  EXPECT_TRUE(checked.ok()) << checked.status().ToString();
+}
+
+TEST(TracecatProfile, RejectsSchemaInvalidInput) {
+  std::string wrong_tag = SampleProfileRecord();
+  wrong_tag.replace(wrong_tag.find("isum-profile-v1"), 15, "isum-profile-v9");
+  EXPECT_FALSE(ParseProfileJson(wrong_tag).ok());
+  std::string unknown_scalar = SampleProfileRecord();
+  unknown_scalar.insert(unknown_scalar.find("\"phases\""),
+                        "\"mystery\": 1,\n");
+  EXPECT_FALSE(ParseProfileJson(unknown_scalar).ok());
+  EXPECT_FALSE(
+      ParseProfileJson("{\n\"schema\": \"isum-profile-v1\",\n").ok());
+  EXPECT_FALSE(ParseProfileJson("not a profile\n").ok());
+}
+
+TEST(TracecatProfile, ReportRendersPhaseFrameAndAllocTables) {
+  const auto parsed = ParseProfileJson(SampleProfileRecord());
+  ASSERT_TRUE(parsed.ok());
+  const std::string report = ProfileReport(parsed.value(), 5);
+  EXPECT_NE(report.find("bench_fig2_scalability"), std::string::npos);
+  EXPECT_NE(report.find("200 sample(s) at 100 Hz"), std::string::npos);
+  EXPECT_NE(report.find("95.0% attributed"), std::string::npos);
+  EXPECT_NE(report.find("== per-phase samples =="), std::string::npos);
+  EXPECT_NE(report.find("compress/greedy-pick"), std::string::npos);
+  EXPECT_NE(report.find("frames by self samples"), std::string::npos);
+  EXPECT_NE(report.find("isum::core::Score"), std::string::npos);
+  EXPECT_NE(report.find("== allocations =="), std::string::npos);
+  EXPECT_NE(report.find("net freed"), std::string::npos);
+}
+
+TEST(TracecatProfile, CheckEnforcesAttributionAndConsistency) {
+  const auto parsed = ParseProfileJson(SampleProfileRecord());
+  ASSERT_TRUE(parsed.ok());
+  // 95% attributed: passes a 90% floor, fails a 99% floor.
+  EXPECT_TRUE(CheckProfile(parsed.value(), 90.0).ok());
+  const auto strict = CheckProfile(parsed.value(), 99.0);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().ToString().find("95.0%"), std::string::npos);
+  // Tampered percent is caught even when the floor would pass.
+  ProfileRecord tampered = parsed.value();
+  tampered.attributed_percent = 99.0;
+  EXPECT_FALSE(CheckProfile(tampered, 0.0).ok());
+  // Phase totals must sum to the sample count.
+  ProfileRecord short_phases = parsed.value();
+  short_phases.phases.pop_back();
+  EXPECT_FALSE(CheckProfile(short_phases, 0.0).ok());
+  ProfileRecord bad_hz = parsed.value();
+  bad_hz.sample_hz = 0;
+  EXPECT_FALSE(CheckProfile(bad_hz, 0.0).ok());
+}
+
+TEST(TracecatProfile, DiffReportsShareMovements) {
+  const auto from = ParseProfileJson(SampleProfileRecord());
+  ASSERT_TRUE(from.ok());
+  ProfileRecord to = from.value();
+  to.label = "post";
+  // greedy-pick shrinks 75% -> 40%, optimize grows 20% -> 55%.
+  to.phases[0].percent = 40.0;
+  to.phases[1].percent = 55.0;
+  to.frames[0].self = 40;  // Score: 60% -> 20% self share
+  const std::string diff = ProfileDiff(from.value(), to, 5);
+  EXPECT_NE(diff.find("run (abc1234) -> post (abc1234)"), std::string::npos);
+  EXPECT_NE(diff.find("compress/greedy-pick"), std::string::npos);
+  EXPECT_NE(diff.find("-35.0%"), std::string::npos);
+  EXPECT_NE(diff.find("+35.0%"), std::string::npos);
+  EXPECT_NE(diff.find("isum::core::Score"), std::string::npos);
+  EXPECT_NE(diff.find("-40.0%"), std::string::npos);
+  EXPECT_NE(diff.find("allocated:"), std::string::npos);
+}
+
 TEST(TracecatReport, OmitsRobustnessSectionOnCleanRuns) {
   // Counters registered but all zero (the common fault-free run): the
   // section must not clutter the report.

@@ -24,6 +24,7 @@ constexpr const char kBudgetPoll[] = "isum-budget-poll";
 constexpr const char kLockScope[] = "isum-lock-scope";
 constexpr const char kGuardedBy[] = "isum-guarded-by";
 constexpr const char kJournalSchema[] = "isum-journal-schema";
+constexpr const char kNoAllocInSignal[] = "isum-no-alloc-in-signal";
 
 /// Files on the similarity/selection hot path, where a per-iteration
 /// std::vector costs a malloc per pair (the regression class the scratch
@@ -145,7 +146,8 @@ std::string Violation::ToString() const {
 std::vector<std::string> KnownRules() {
   return {kNoAssert,   kNoStdio,          kNoNondeterminism, kIncludeGuard,
           kMissingOverride, kUncheckedStatus, kNoRawClock,   kNoPerPairAlloc,
-          kBudgetPoll, kLockScope,        kGuardedBy,        kJournalSchema};
+          kBudgetPoll, kLockScope,        kGuardedBy,        kJournalSchema,
+          kNoAllocInSignal};
 }
 
 LexedSource Lex(const std::string& content) {
@@ -541,6 +543,11 @@ void LintFile(const std::string& path, const std::string& content,
   bool pending_do = false;
   int do_line = 0;
   int do_col = 0;
+  // isum-no-alloc-in-signal: set when an ISUM_SIGNAL_SAFE annotation was
+  // seen and the function body has not opened yet (a ';' first means it was
+  // a declaration); signal_depth is the brace depth of the open body.
+  bool signal_pending = false;
+  int signal_depth = -1;
   std::string first_ifndef, first_define;
   int ifndef_line = 0;
   const Token* ifndef_tok = nullptr;
@@ -770,6 +777,43 @@ void LintFile(const std::string& path, const std::string& content,
         }
       }
 
+      // --- isum-no-alloc-in-signal ---
+      if (s == "ISUM_SIGNAL_SAFE") {
+        signal_pending = true;
+      } else if (signal_depth >= 0) {
+        // Inside an annotated body: the async-signal-safety contract
+        // (src/common/signal_safe.h) bans allocation, locking, and stdio.
+        if (s == "new" || s == "delete") {
+          add(t.line, t.col, kNoAllocInSignal,
+              "operator " + s +
+                  " inside an ISUM_SIGNAL_SAFE function; signal handlers "
+                  "must not allocate (src/common/signal_safe.h) — "
+                  "preallocate outside signal context");
+        } else if (IsAny(s, {"malloc", "calloc", "realloc", "free",
+                             "posix_memalign", "aligned_alloc", "strdup",
+                             "backtrace_symbols"}) &&
+                   next_text("(")) {
+          add(t.line, t.col, kNoAllocInSignal,
+              s + "() allocates or frees inside an ISUM_SIGNAL_SAFE "
+                  "function (src/common/signal_safe.h); preallocate "
+                  "outside signal context");
+        } else if (IsAny(s, {"MutexLock", "lock_guard", "unique_lock",
+                             "scoped_lock", "shared_lock"})) {
+          add(t.line, t.col, kNoAllocInSignal,
+              s + " inside an ISUM_SIGNAL_SAFE function; a handler "
+                  "interrupting the lock holder self-deadlocks — use "
+                  "lock-free atomics (src/common/signal_safe.h)");
+        } else if (IsAny(s, {"printf", "fprintf", "snprintf", "sprintf",
+                             "puts", "fputs", "fwrite", "fopen", "getline",
+                             "cout", "cerr"}) &&
+                   (next_text("(") || s == "cout" || s == "cerr")) {
+          add(t.line, t.col, kNoAllocInSignal,
+              s + " performs stdio inside an ISUM_SIGNAL_SAFE function; "
+                  "stdio locks internally (src/common/signal_safe.h) — "
+                  "record raw data and format after the handler returns");
+        }
+      }
+
       // --- isum-guarded-by ---
       if (rule_guardedby && prev_text("::") && i >= 2 &&
           toks[i - 2].text == "std" && next_is_ident()) {
@@ -845,6 +889,10 @@ void LintFile(const std::string& path, const std::string& content,
         class_stack.push_back({pending_base, brace_depth});
         pending_class = false;
       }
+      if (signal_pending) {
+        signal_depth = brace_depth;
+        signal_pending = false;
+      }
       ++brace_depth;
     } else if (s == "}") {
       --brace_depth;
@@ -860,8 +908,10 @@ void LintFile(const std::string& path, const std::string& content,
       while (!lock_stack.empty() && lock_stack.back() > brace_depth) {
         lock_stack.pop_back();
       }
+      if (signal_depth == brace_depth) signal_depth = -1;
     } else if (s == ";") {
       pending_class = false;
+      signal_pending = false;  // annotated declaration, no body
       if (loop_header && loop_parens_closed) {
         loop_header = false;  // unbraced single-statement body
       }

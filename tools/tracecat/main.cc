@@ -4,14 +4,25 @@
 //
 //   tracecat <trace.json> [--metrics=<metrics.jsonl>] [--top=N]
 //   tracecat bench <bench.json> [<bench2.json>] [--check]
+//                  [--rss-tolerance=P]
 //   tracecat explain <journal.jsonl> [--check] [--top=N]
+//   tracecat profile <profile.json> [--check] [--top=N]
+//                    [--min-attributed=P]
+//   tracecat profile --diff <old.json> <new.json> [--top=N]
 //   tracecat watch <snapshot.prom> [--interval=S] [--count=N]
 //   tracecat watch --url=127.0.0.1:<port> [--interval=S] [--count=N]
 //
 // The bench subcommand parses isum-bench-v1 files (--bench-json= output).
 // With two files (or one trajectory file holding several records) it prints
-// the per-phase delta between the first and last record. --check only
-// validates the schema, for CI smoke jobs.
+// the per-phase delta between the first and last record. --check validates
+// the schema and gates peak RSS growth between the first and last record
+// (default tolerance +10%), for CI smoke jobs.
+//
+// The profile subcommand parses isum-profile-v1 files (--profile= output,
+// src/obs/profiler.h): per-phase sample attribution, top frames by self
+// samples, the allocation hot-list. --check validates the record and
+// requires --min-attributed=P percent (default 0) of samples to land in a
+// named phase. --diff compares two records by sample share.
 //
 // The explain subcommand reconstructs a run from its --journal= file
 // (isum-events-v1): greedy selection trajectory with recomputed-vs-recorded
@@ -62,10 +73,13 @@ bool ReadFile(const std::string& path, std::string* out) {
 int BenchMain(int argc, char** argv) {
   std::vector<std::string> paths;
   bool check_only = false;
+  double rss_tolerance_percent = 10.0;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--check") == 0) {
       check_only = true;
+    } else if (std::strncmp(arg, "--rss-tolerance=", 16) == 0) {
+      rss_tolerance_percent = std::strtod(arg + 16, nullptr);
     } else if (arg[0] != '-' && paths.size() < 2) {
       paths.emplace_back(arg);
     } else {
@@ -76,7 +90,7 @@ int BenchMain(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: tracecat bench <bench.json> [<bench2.json>] "
-                 "[--check]\n");
+                 "[--check] [--rss-tolerance=P]\n");
     return 2;
   }
 
@@ -97,6 +111,12 @@ int BenchMain(int argc, char** argv) {
   }
 
   if (check_only) {
+    const isum::Status rss =
+        isum::tracecat::CheckBenchRss(records, rss_tolerance_percent);
+    if (!rss.ok()) {
+      std::fprintf(stderr, "%s\n", rss.ToString().c_str());
+      return 1;
+    }
     std::printf("ok: %zu bench record(s)\n", records.size());
     return 0;
   }
@@ -165,6 +185,80 @@ int ExplainMain(int argc, char** argv) {
     return 1;
   }
   std::fputs(report.value().c_str(), stdout);
+  return 0;
+}
+
+/// `tracecat profile ...`: render (or with --check, validate) one
+/// isum-profile-v1 record, or with --diff compare two by sample share.
+int ProfileMain(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool check_only = false;
+  bool diff = false;
+  size_t top_k = 10;
+  double min_attributed_percent = 0.0;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check_only = true;
+    } else if (std::strcmp(arg, "--diff") == 0) {
+      diff = true;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top_k = static_cast<size_t>(std::strtoul(arg + 6, nullptr, 10));
+    } else if (std::strncmp(arg, "--min-attributed=", 17) == 0) {
+      min_attributed_percent = std::strtod(arg + 17, nullptr);
+    } else if (arg[0] != '-' && paths.size() < 2) {
+      paths.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  const size_t want_paths = diff ? 2 : 1;
+  if (paths.size() != want_paths || (diff && check_only)) {
+    std::fprintf(stderr,
+                 "usage: tracecat profile <profile.json> [--check] [--top=N] "
+                 "[--min-attributed=P]\n"
+                 "       tracecat profile --diff <old.json> <new.json> "
+                 "[--top=N]\n");
+    return 2;
+  }
+
+  std::vector<isum::tracecat::ProfileRecord> records;
+  for (const std::string& path : paths) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    auto parsed = isum::tracecat::ParseProfileJson(content);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    records.push_back(std::move(parsed).value());
+  }
+
+  if (diff) {
+    const std::string delta =
+        isum::tracecat::ProfileDiff(records.front(), records.back(), top_k);
+    std::fputs(delta.c_str(), stdout);
+    return 0;
+  }
+  if (check_only) {
+    auto checked =
+        isum::tracecat::CheckProfile(records.front(), min_attributed_percent);
+    if (!checked.ok()) {
+      std::fprintf(stderr, "%s: %s\n", paths.front().c_str(),
+                   checked.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ok: %zu profile sample(s), %.1f%% attributed\n",
+                checked.value(), records.front().attributed_percent);
+    return 0;
+  }
+  std::fputs(isum::tracecat::ProfileReport(records.front(), top_k).c_str(),
+             stdout);
   return 0;
 }
 
@@ -309,6 +403,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "explain") == 0) {
     return ExplainMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
+    return ProfileMain(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "watch") == 0) {
     return WatchMain(argc, argv);

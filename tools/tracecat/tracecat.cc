@@ -1,6 +1,7 @@
 #include "tools/tracecat/tracecat.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -443,6 +444,459 @@ std::string BenchDelta(const BenchRecord& from, const BenchRecord& to) {
   }
   out += StrFormat("wall: %.2fs -> %.2fs%s\n", from.wall_seconds,
                    to.wall_seconds, wall_delta.c_str());
+  return out;
+}
+
+namespace {
+
+std::string HumanBytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    return StrFormat("%.2fGiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  }
+  if (bytes >= 1024.0 * 1024.0) {
+    return StrFormat("%.1fMiB", bytes / (1024.0 * 1024.0));
+  }
+  if (bytes >= 1024.0) return StrFormat("%.1fKiB", bytes / 1024.0);
+  return StrFormat("%.0fB", bytes);
+}
+
+}  // namespace
+
+Status CheckBenchRss(const std::vector<BenchRecord>& records,
+                     double tolerance_percent) {
+  if (records.size() < 2) return Status::OK();
+  const BenchRecord& from = records.front();
+  const BenchRecord& to = records.back();
+  if (from.peak_rss_bytes == 0) return Status::OK();
+  const double growth_percent =
+      100.0 * (static_cast<double>(to.peak_rss_bytes) -
+               static_cast<double>(from.peak_rss_bytes)) /
+      static_cast<double>(from.peak_rss_bytes);
+  if (growth_percent > tolerance_percent) {
+    return Status::InvalidArgument(StrFormat(
+        "peak RSS regression: %s (%s) -> %s (%s) is %+.1f%%, tolerance "
+        "+%.1f%%",
+        HumanBytes(static_cast<double>(from.peak_rss_bytes)).c_str(),
+        from.git_rev.c_str(),
+        HumanBytes(static_cast<double>(to.peak_rss_bytes)).c_str(),
+        to.git_rev.c_str(), growth_percent, tolerance_percent));
+  }
+  return Status::OK();
+}
+
+// ---- sampling profiles ----
+
+StatusOr<ProfileRecord> ParseProfileJson(const std::string& content) {
+  // Line state machine matching obs::ProfileJson's layout, the same
+  // discipline as ParseBenchJson: `{`, one scalar per line, then the
+  // phases/frames/alloc_phases sections, then `}`.
+  enum class Section { kTopLevel, kScalars, kPhases, kFrames, kAllocPhases };
+  Section section = Section::kTopLevel;
+
+  ProfileRecord record;
+  bool saw_record = false;
+  bool saw_schema = false;
+  bool saw_samples = false;
+  bool saw_attributed = false;
+
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    switch (section) {
+      case Section::kTopLevel:
+        if (line == "{") {
+          if (saw_record) {
+            return Status::ParseError(
+                "multiple profile records in one file");
+          }
+          section = Section::kScalars;
+          break;
+        }
+        return Status::ParseError("unexpected profile line: " + line);
+      case Section::kScalars: {
+        if (line == "}") {
+          if (!saw_schema) {
+            return Status::ParseError("profile record without schema tag");
+          }
+          if (!saw_samples || !saw_attributed) {
+            return Status::ParseError(
+                "profile record missing samples/attributed_samples");
+          }
+          saw_record = true;
+          section = Section::kTopLevel;
+          break;
+        }
+        if (line == "\"phases\": [") {
+          section = Section::kPhases;
+          break;
+        }
+        if (line == "\"frames\": [") {
+          section = Section::kFrames;
+          break;
+        }
+        if (line == "\"alloc_phases\": [") {
+          section = Section::kAllocPhases;
+          break;
+        }
+        auto scalar_string = [&](const char* key,
+                                 std::string* out) -> StatusOr<bool> {
+          if (!LineHasKey(line, key)) return false;
+          auto v = JsonExtractString(line, key);
+          if (!v.ok()) return v.status();
+          *out = v.value();
+          return true;
+        };
+        auto scalar_number = [&](const char* key,
+                                 double* out) -> StatusOr<bool> {
+          if (!LineHasKey(line, key)) return false;
+          auto v = JsonExtractNumber(line, key);
+          if (!v.ok()) return v.status();
+          *out = v.value();
+          return true;
+        };
+        if (LineHasKey(line, "schema")) {
+          auto schema = JsonExtractString(line, "schema");
+          if (!schema.ok()) return schema.status();
+          if (schema.value() != "isum-profile-v1") {
+            return Status::ParseError("unsupported profile schema: " +
+                                      schema.value());
+          }
+          saw_schema = true;
+          break;
+        }
+        double number = 0.0;
+        StatusOr<bool> handled = scalar_string("label", &record.label);
+        if (!handled.ok()) return handled.status();
+        if (handled.value()) break;
+        handled = scalar_string("bench", &record.bench);
+        if (!handled.ok()) return handled.status();
+        if (handled.value()) break;
+        handled = scalar_string("git_rev", &record.git_rev);
+        if (!handled.ok()) return handled.status();
+        if (handled.value()) break;
+        if (LineHasKey(line, "sample_hz")) {
+          handled = scalar_number("sample_hz", &number);
+          if (!handled.ok()) return handled.status();
+          record.sample_hz = static_cast<int>(number);
+          break;
+        }
+        handled = scalar_number("wall_seconds", &record.wall_seconds);
+        if (!handled.ok()) return handled.status();
+        if (handled.value()) break;
+        if (LineHasKey(line, "samples")) {
+          handled = scalar_number("samples", &number);
+          if (!handled.ok()) return handled.status();
+          record.samples = static_cast<uint64_t>(number);
+          saw_samples = true;
+          break;
+        }
+        if (LineHasKey(line, "dropped")) {
+          handled = scalar_number("dropped", &number);
+          if (!handled.ok()) return handled.status();
+          record.dropped = static_cast<uint64_t>(number);
+          break;
+        }
+        if (LineHasKey(line, "attributed_samples")) {
+          handled = scalar_number("attributed_samples", &number);
+          if (!handled.ok()) return handled.status();
+          record.attributed_samples = static_cast<uint64_t>(number);
+          saw_attributed = true;
+          break;
+        }
+        handled =
+            scalar_number("attributed_percent", &record.attributed_percent);
+        if (!handled.ok()) return handled.status();
+        if (handled.value()) break;
+        if (LineHasKey(line, "alloc_enabled")) {
+          handled = scalar_number("alloc_enabled", &number);
+          if (!handled.ok()) return handled.status();
+          record.alloc_enabled = number != 0.0;
+          break;
+        }
+        if (LineHasKey(line, "alloc_total_bytes")) {
+          handled = scalar_number("alloc_total_bytes", &number);
+          if (!handled.ok()) return handled.status();
+          record.alloc_total_bytes = static_cast<uint64_t>(number);
+          break;
+        }
+        if (LineHasKey(line, "alloc_total_count")) {
+          handled = scalar_number("alloc_total_count", &number);
+          if (!handled.ok()) return handled.status();
+          record.alloc_total_count = static_cast<uint64_t>(number);
+          break;
+        }
+        if (LineHasKey(line, "alloc_live_bytes")) {
+          handled = scalar_number("alloc_live_bytes", &number);
+          if (!handled.ok()) return handled.status();
+          record.alloc_live_bytes = static_cast<int64_t>(number);
+          break;
+        }
+        if (LineHasKey(line, "alloc_peak_bytes")) {
+          handled = scalar_number("alloc_peak_bytes", &number);
+          if (!handled.ok()) return handled.status();
+          record.alloc_peak_bytes = static_cast<uint64_t>(number);
+          break;
+        }
+        return Status::ParseError("unknown profile scalar line: " + line);
+      }
+      case Section::kPhases: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        ProfilePhaseStat phase;
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        phase.name = name.value();
+        auto samples = JsonExtractNumber(line, "samples");
+        if (!samples.ok()) return samples.status();
+        phase.samples = static_cast<uint64_t>(samples.value());
+        auto percent = JsonExtractNumber(line, "percent");
+        if (!percent.ok()) return percent.status();
+        phase.percent = percent.value();
+        record.phases.push_back(std::move(phase));
+        break;
+      }
+      case Section::kFrames: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        ProfileFrameStat frame;
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        frame.name = name.value();
+        auto self = JsonExtractNumber(line, "self");
+        if (!self.ok()) return self.status();
+        frame.self = static_cast<uint64_t>(self.value());
+        auto total = JsonExtractNumber(line, "total");
+        if (!total.ok()) return total.status();
+        frame.total = static_cast<uint64_t>(total.value());
+        record.frames.push_back(std::move(frame));
+        break;
+      }
+      case Section::kAllocPhases: {
+        if (line == "]") {
+          section = Section::kScalars;
+          break;
+        }
+        ProfileAllocStat alloc;
+        auto name = JsonExtractString(line, "name");
+        if (!name.ok()) return name.status();
+        alloc.name = name.value();
+        auto bytes = JsonExtractNumber(line, "bytes");
+        if (!bytes.ok()) return bytes.status();
+        alloc.bytes = static_cast<uint64_t>(bytes.value());
+        auto count = JsonExtractNumber(line, "count");
+        if (!count.ok()) return count.status();
+        alloc.count = static_cast<uint64_t>(count.value());
+        record.alloc_phases.push_back(std::move(alloc));
+        break;
+      }
+    }
+  }
+  if (section != Section::kTopLevel) {
+    return Status::ParseError("unterminated profile record");
+  }
+  if (!saw_record) {
+    return Status::ParseError("no profile record found");
+  }
+  return record;
+}
+
+std::string ProfileReport(const ProfileRecord& record, size_t top_k) {
+  std::string out;
+  out += StrFormat("== profile: %s / %s (%s) ==\n", record.bench.c_str(),
+                   record.label.c_str(), record.git_rev.c_str());
+  out += StrFormat(
+      "%llu sample(s) at %d Hz over %.2fs wall (%llu dropped), "
+      "%.1f%% attributed to a phase\n",
+      static_cast<unsigned long long>(record.samples), record.sample_hz,
+      record.wall_seconds, static_cast<unsigned long long>(record.dropped),
+      record.attributed_percent);
+
+  out += "\n== per-phase samples ==\n";
+  if (record.phases.empty()) {
+    out += "(no samples)\n";
+  } else {
+    out += StrFormat("%-40s %10s %8s\n", "phase", "samples", "share");
+    for (const ProfilePhaseStat& p : record.phases) {
+      out += StrFormat("%-40s %10llu %7.1f%%\n", p.name.c_str(),
+                       static_cast<unsigned long long>(p.samples), p.percent);
+    }
+  }
+
+  if (!record.frames.empty()) {
+    const size_t n = std::min(top_k, record.frames.size());
+    out += StrFormat("\n== top %zu frames by self samples ==\n", n);
+    out += StrFormat("%-56s %8s %8s\n", "frame", "self", "total");
+    for (size_t i = 0; i < n; ++i) {
+      const ProfileFrameStat& f = record.frames[i];
+      out += StrFormat("%-56s %8llu %8llu\n", f.name.c_str(),
+                       static_cast<unsigned long long>(f.self),
+                       static_cast<unsigned long long>(f.total));
+    }
+  }
+
+  if (record.alloc_enabled) {
+    out += "\n== allocations ==\n";
+    out += StrFormat(
+        "total: %s in %llu allocation(s); peak %s, live at stop %s%s\n",
+        HumanBytes(static_cast<double>(record.alloc_total_bytes)).c_str(),
+        static_cast<unsigned long long>(record.alloc_total_count),
+        HumanBytes(static_cast<double>(record.alloc_peak_bytes)).c_str(),
+        HumanBytes(std::abs(static_cast<double>(record.alloc_live_bytes)))
+            .c_str(),
+        record.alloc_live_bytes < 0 ? " (net freed)" : "");
+    if (!record.alloc_phases.empty()) {
+      out += StrFormat("%-40s %12s %10s\n", "phase", "bytes", "count");
+      for (const ProfileAllocStat& a : record.alloc_phases) {
+        out += StrFormat("%-40s %12s %10llu\n", a.name.c_str(),
+                         HumanBytes(static_cast<double>(a.bytes)).c_str(),
+                         static_cast<unsigned long long>(a.count));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<size_t> CheckProfile(const ProfileRecord& record,
+                              double min_attributed_percent) {
+  if (record.sample_hz <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("non-positive sample_hz: %d", record.sample_hz));
+  }
+  if (record.attributed_samples > record.samples) {
+    return Status::InvalidArgument(StrFormat(
+        "attributed_samples %llu exceeds samples %llu",
+        static_cast<unsigned long long>(record.attributed_samples),
+        static_cast<unsigned long long>(record.samples)));
+  }
+  // The emitter computes attributed_percent from the two counts; a
+  // mismatch means the record was edited or truncated.
+  const double expected =
+      record.samples > 0
+          ? 100.0 * static_cast<double>(record.attributed_samples) /
+                static_cast<double>(record.samples)
+          : 0.0;
+  if (std::abs(expected - record.attributed_percent) > 0.05) {
+    return Status::InvalidArgument(StrFormat(
+        "attributed_percent %.2f inconsistent with %llu/%llu samples",
+        record.attributed_percent,
+        static_cast<unsigned long long>(record.attributed_samples),
+        static_cast<unsigned long long>(record.samples)));
+  }
+  uint64_t phase_samples = 0;
+  for (const ProfilePhaseStat& p : record.phases) phase_samples += p.samples;
+  if (phase_samples != record.samples) {
+    return Status::InvalidArgument(
+        StrFormat("phase samples sum to %llu, record has %llu",
+                  static_cast<unsigned long long>(phase_samples),
+                  static_cast<unsigned long long>(record.samples)));
+  }
+  if (record.attributed_percent < min_attributed_percent) {
+    return Status::InvalidArgument(StrFormat(
+        "only %.1f%% of samples attributed to a phase (minimum %.1f%%): "
+        "is the tracer enabled and the workload instrumented?",
+        record.attributed_percent, min_attributed_percent));
+  }
+  return static_cast<size_t>(record.samples);
+}
+
+std::string ProfileDiff(const ProfileRecord& from, const ProfileRecord& to,
+                        size_t top_k) {
+  std::string out;
+  out += StrFormat("== profile delta: %s (%s) -> %s (%s) ==\n",
+                   from.label.c_str(), from.git_rev.c_str(), to.label.c_str(),
+                   to.git_rev.c_str());
+
+  // Shares, not raw counts: the two runs can differ in length and rate.
+  out += StrFormat("%-40s %8s %8s %8s\n", "phase", "from", "to", "delta");
+  auto find_phase = [](const std::vector<ProfilePhaseStat>& phases,
+                       const std::string& name) -> const ProfilePhaseStat* {
+    for (const ProfilePhaseStat& p : phases) {
+      if (p.name == name) return &p;
+    }
+    return nullptr;
+  };
+  auto phase_row = [&](const std::string& name, const ProfilePhaseStat* a,
+                       const ProfilePhaseStat* b) {
+    const double pa = a != nullptr ? a->percent : 0.0;
+    const double pb = b != nullptr ? b->percent : 0.0;
+    out += StrFormat("%-40s %7.1f%% %7.1f%% %+7.1f%%\n", name.c_str(), pa, pb,
+                     pb - pa);
+  };
+  for (const ProfilePhaseStat& p : from.phases) {
+    phase_row(p.name, &p, find_phase(to.phases, p.name));
+  }
+  for (const ProfilePhaseStat& p : to.phases) {
+    if (find_phase(from.phases, p.name) == nullptr) {
+      phase_row(p.name, nullptr, &p);
+    }
+  }
+
+  // Frames by largest absolute self-share movement.
+  struct FrameDelta {
+    std::string name;
+    double from_share = 0.0;
+    double to_share = 0.0;
+  };
+  auto share = [](uint64_t self, uint64_t samples) {
+    return samples > 0
+               ? 100.0 * static_cast<double>(self) /
+                     static_cast<double>(samples)
+               : 0.0;
+  };
+  std::vector<FrameDelta> deltas;
+  auto delta_row = [&](const std::string& name) -> FrameDelta& {
+    for (FrameDelta& d : deltas) {
+      if (d.name == name) return d;
+    }
+    deltas.push_back(FrameDelta{name, 0.0, 0.0});
+    return deltas.back();
+  };
+  for (const ProfileFrameStat& f : from.frames) {
+    delta_row(f.name).from_share = share(f.self, from.samples);
+  }
+  for (const ProfileFrameStat& f : to.frames) {
+    delta_row(f.name).to_share = share(f.self, to.samples);
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const FrameDelta& a, const FrameDelta& b) {
+              const double da = std::abs(a.to_share - a.from_share);
+              const double db = std::abs(b.to_share - b.from_share);
+              if (da != db) return da > db;
+              return a.name < b.name;
+            });
+  if (deltas.size() > top_k) deltas.resize(top_k);
+  if (!deltas.empty()) {
+    out += StrFormat("\n== top %zu frame movements (self share) ==\n",
+                     deltas.size());
+    out += StrFormat("%-56s %8s %8s %8s\n", "frame", "from", "to", "delta");
+    for (const FrameDelta& d : deltas) {
+      out += StrFormat("%-56s %7.1f%% %7.1f%% %+7.1f%%\n", d.name.c_str(),
+                       d.from_share, d.to_share, d.to_share - d.from_share);
+    }
+  }
+
+  if (from.alloc_enabled && to.alloc_enabled) {
+    const double from_bytes = static_cast<double>(from.alloc_total_bytes);
+    const double to_bytes = static_cast<double>(to.alloc_total_bytes);
+    std::string alloc_delta;
+    if (from_bytes > 0.0) {
+      alloc_delta =
+          StrFormat(" (%+.1f%%)", 100.0 * (to_bytes - from_bytes) / from_bytes);
+    }
+    out += StrFormat("\nallocated: %s -> %s%s; peak %s -> %s\n",
+                     HumanBytes(from_bytes).c_str(),
+                     HumanBytes(to_bytes).c_str(), alloc_delta.c_str(),
+                     HumanBytes(static_cast<double>(from.alloc_peak_bytes))
+                         .c_str(),
+                     HumanBytes(static_cast<double>(to.alloc_peak_bytes))
+                         .c_str());
+  }
   return out;
 }
 

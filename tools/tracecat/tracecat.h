@@ -87,6 +87,82 @@ StatusOr<std::vector<BenchRecord>> ParseBenchJson(const std::string& content);
 /// summary line. This is the per-phase diff between two recorded baselines.
 std::string BenchDelta(const BenchRecord& from, const BenchRecord& to);
 
+/// Memory-regression gate for `tracecat bench --check`: compares the first
+/// and last record's peak_rss_bytes and errors when the growth exceeds
+/// `tolerance_percent` (both directions are reported, only growth fails —
+/// a slimmer binary is not a regression). No-op with fewer than two
+/// records or a zero first-record RSS (unsupported platform).
+Status CheckBenchRss(const std::vector<BenchRecord>& records,
+                     double tolerance_percent);
+
+/// ---- sampling profiles (isum-profile-v1, src/obs/profiler.h) ----
+
+/// Per-phase sample totals of one profile record.
+struct ProfilePhaseStat {
+  std::string name;  ///< "(unattributed)" for samples outside any span
+  uint64_t samples = 0;
+  double percent = 0.0;
+};
+
+/// One symbolized frame's self/total sample counts.
+struct ProfileFrameStat {
+  std::string name;
+  uint64_t self = 0;   ///< samples with this frame as the leaf
+  uint64_t total = 0;  ///< samples with this frame anywhere on the stack
+};
+
+/// Per-phase allocation totals (present when the record was taken with
+/// --profile-alloc=1 on an ISUM_OBS_PROFILING build).
+struct ProfileAllocStat {
+  std::string name;
+  uint64_t bytes = 0;
+  uint64_t count = 0;
+};
+
+/// One parsed --profile= record (the isum-profile-v1 layout written by
+/// obs::ProfileJson; schema documented in docs/OBSERVABILITY.md).
+struct ProfileRecord {
+  std::string label;
+  std::string bench;
+  std::string git_rev;
+  int sample_hz = 0;
+  double wall_seconds = 0.0;
+  uint64_t samples = 0;
+  uint64_t dropped = 0;
+  uint64_t attributed_samples = 0;
+  double attributed_percent = 0.0;
+  bool alloc_enabled = false;
+  uint64_t alloc_total_bytes = 0;
+  uint64_t alloc_total_count = 0;
+  int64_t alloc_live_bytes = 0;  ///< signed: frees of pre-arm allocations
+  uint64_t alloc_peak_bytes = 0;
+  std::vector<ProfilePhaseStat> phases;      ///< descending samples
+  std::vector<ProfileFrameStat> frames;      ///< descending self
+  std::vector<ProfileAllocStat> alloc_phases;
+};
+
+/// Parses one isum-profile-v1 record. Errors on anything schema-invalid:
+/// wrong or missing schema tag, missing required scalars, unknown scalar
+/// lines, unterminated records.
+StatusOr<ProfileRecord> ParseProfileJson(const std::string& content);
+
+/// Renders the profile report: header (samples, rate, attribution), the
+/// per-phase attribution table, top-k frames by self samples, and — when
+/// the record carries allocation data — the allocation hot-list.
+std::string ProfileReport(const ProfileRecord& record, size_t top_k);
+
+/// Validation for `tracecat profile --check`: sane scalars (positive hz,
+/// percent arithmetic consistent with the sample counts) and at least
+/// `min_attributed_percent` of samples attributed to a named phase.
+/// Returns the number of samples validated.
+StatusOr<size_t> CheckProfile(const ProfileRecord& record,
+                              double min_attributed_percent);
+
+/// Per-phase and per-frame sample-share diff between two profile records
+/// (shares, not raw counts, so records of different lengths compare).
+std::string ProfileDiff(const ProfileRecord& from, const ProfileRecord& to,
+                        size_t top_k);
+
 /// ---- decision-provenance journal (isum-events-v1, src/obs/journal.h) ----
 
 /// One parsed journal line. The envelope fields every event carries are
