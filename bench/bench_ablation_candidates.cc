@@ -76,5 +76,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: multi-column keys add over single-column; "
               "covering variants add the largest jump (index-only plans); "
               "wider covering costs more optimizer calls for little gain.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

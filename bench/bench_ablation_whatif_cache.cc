@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: real optimizer calls grow far slower than "
               "the naive candidate x query x round product; savings rate "
               "rises with workload size.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

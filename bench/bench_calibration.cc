@@ -90,5 +90,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: strong positive correlation in (a); both "
               "improvement numbers in (b) positive and of the same "
               "magnitude.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: incremental within a few points of batch "
               "ISUM even with small batches; anytime quality grows with the "
               "observed prefix; both well above uniform sampling.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
                   env.name.c_str(), w.size()),
         csv);
   }
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -71,5 +71,5 @@ int main(int argc, char** argv) {
                           env.name.c_str(), k),
                 csv);
   }
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   std::printf("\nPaper shape: summary quality ~= all-pairs; all-pairs time "
               "grows quadratically with n while summary stays near-linear; "
               "k-medoid slow and worst quality.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

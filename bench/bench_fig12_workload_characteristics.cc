@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
                           label, env.workload->size()),
                 csv);
   }
-  return 0;
+  return obs_scope.ExitCode();
 }

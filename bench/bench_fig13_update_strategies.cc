@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
                           env.name.c_str()),
                 csv);
   }
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
                         "weighing strategy",
                         env.workload->size()),
               csv);
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -34,5 +34,5 @@ int main(int argc, char** argv) {
                           env.name.c_str(), env.workload->size()),
                 csv);
   }
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
 
   if (compress_only) {
     std::printf("\n(--compress-only: skipping the 2a/2b tuning sweep)\n");
-    return 0;
+    return obs_scope.ExitCode();
   }
 
   eval::Table table({"n_queries", "tuning_time_s", "optimizer_call_time_s",
@@ -132,5 +132,5 @@ int main(int argc, char** argv) {
               csv);
   std::printf("\nPaper shape: tuning time and explored configurations grow "
               "steeply with n; optimizer calls dominate tuning time.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

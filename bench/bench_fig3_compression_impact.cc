@@ -55,5 +55,5 @@ int main(int argc, char** argv) {
   table.Print("Figure 3: impact of workload compression (TPC-DS-like)", csv);
   std::printf("\nfull-workload tuning time: %.2fs\n",
               full_result.tuning_seconds);
-  return 0;
+  return obs_scope.ExitCode();
 }

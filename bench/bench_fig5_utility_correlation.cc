@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
               PearsonCorrelation(cost, tuned.reduction));
   std::printf("corr(cost x (1-sel), reduction)    = %.3f  (paper: 0.988)\n",
               PearsonCorrelation(utility_sel, tuned.reduction));
-  return 0;
+  return obs_scope.ExitCode();
 }

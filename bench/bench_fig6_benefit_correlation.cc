@@ -55,5 +55,5 @@ int main(int argc, char** argv) {
               PearsonCorrelation(similarity, tuned.workload_improvement));
   std::printf("corr(benefit, improvement)    = %.3f  (paper: 0.89)\n",
               PearsonCorrelation(benefit, tuned.workload_improvement));
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -106,5 +106,5 @@ int main(int argc, char** argv) {
       "here — our 22 templates do not produce the pathological candidate "
       "mismatches (column-order divergence) that separate the measures in "
       "the paper's 2,200-query workloads. See EXPERIMENTS.md.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -98,5 +98,5 @@ int main(int argc, char** argv) {
               PearsonCorrelation(benefit_summary, tuned.workload_improvement));
   std::printf("corr(benefit via all-pairs, improvement) = %.3f  (paper: 0.87)\n",
               PearsonCorrelation(benefit_allpairs, tuned.workload_improvement));
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper shape: ISUM/ISUM-S highest for most k; Cost strong on "
               "Real-M; GSUM weak on Real-M; all converge at large k.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nPaper shape: improvement rises with m then plateaus "
               "(~30 indexes); ISUM variants lead across most m.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

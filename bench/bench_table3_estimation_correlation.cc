@@ -108,5 +108,5 @@ int main(int argc, char** argv) {
               csv);
   std::printf("\nPaper shape: benefit > similarity > utility in every "
               "column; DTA columns exceed DEXTER columns.\n");
-  return 0;
+  return obs_scope.ExitCode();
 }

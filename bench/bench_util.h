@@ -18,6 +18,7 @@
 #include "baselines/gsum.h"
 #include "baselines/kmedoid.h"
 #include "baselines/simple.h"
+#include "common/checkpoint.h"
 #include "common/deadline.h"
 #include "common/fault.h"
 #include "common/string_util.h"
@@ -111,11 +112,14 @@ struct ObsFlags {
   std::string metrics_snapshot_path;
   std::string faults_spec;
   std::string profile_path;
+  std::string checkpoint_path;
+  uint64_t checkpoint_every = 16;
   uint64_t trace_every = 1;
   double time_budget_seconds = 0.0;
   int serve_metrics_port = -1;  ///< -1 = no listener
   int profile_hz = 100;
   bool profile_alloc = false;
+  bool allow_truncated = false;
 
   static ObsFlags Parse(int& argc, char** argv) {
     ObsFlags flags;
@@ -150,6 +154,12 @@ struct ObsFlags {
         flags.faults_spec = arg + 9;
       } else if (std::strncmp(arg, "--time-budget=", 14) == 0) {
         flags.time_budget_seconds = std::strtod(arg + 14, nullptr);
+      } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+        flags.checkpoint_path = arg + 13;
+      } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+        flags.checkpoint_every = std::strtoull(arg + 19, nullptr, 10);
+      } else if (std::strcmp(arg, "--allow-truncated") == 0) {
+        flags.allow_truncated = true;
       } else {
         argv[kept++] = argv[i];
       }
@@ -186,6 +196,19 @@ struct ObsFlags {
 ///   --time-budget=<s>  install an ambient whole-run time budget of `s`
 ///                      seconds (common/deadline.h); stages stop cleanly
 ///                      with best-so-far results once it expires
+///   --checkpoint=<path> install an ambient checkpoint config
+///                      (common/checkpoint.h): compression/enumeration
+///                      phases write crash-atomic `isum-ckpt-v1` epochs
+///                      under <path> and resume from the newest valid one
+///                      at startup (docs/ROBUSTNESS.md). Inspect with
+///                      `tracecat ckpt`
+///   --checkpoint-every=<N> write an epoch every N completed rounds (with
+///                      --checkpoint; default 16)
+///   --allow-truncated  exit 0 even when a stage stopped early (deadline,
+///                      cancellation, faults). Without it any abnormal stop
+///                      makes the driver exit 3 so CI can tell a truncated
+///                      sweep from a complete one (main returns
+///                      obs.ExitCode())
 ///   --bench-json=<path> write a machine-readable perf record (wall time,
 ///                      per-phase span totals, counters, peak RSS, git rev,
 ///                      and every BenchJson::AddRun measurement); enables
@@ -242,6 +265,13 @@ class ObsScope {
     }
     if (flags_.time_budget_seconds > 0.0) {
       InstallAmbientBudget(TimeBudget::After(flags_.time_budget_seconds));
+    }
+    if (!flags_.checkpoint_path.empty()) {
+      CheckpointConfig ckpt;
+      ckpt.path = flags_.checkpoint_path;
+      ckpt.every_rounds =
+          flags_.checkpoint_every == 0 ? 1 : flags_.checkpoint_every;
+      InstallAmbientCheckpoint(ckpt);
     }
     obs::Tracer::Global().SetSampleEvery(flags_.trace_every);
     // The profiler attributes samples through the tracer's span stack, so
@@ -360,6 +390,21 @@ class ObsScope {
 
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
+
+  /// Driver exit status honoring the abnormal-stop ledger
+  /// (common/deadline.h): 0 when every stage ran to completion (or
+  /// --allow-truncated was passed), 3 when any stage stopped early. Bench
+  /// mains `return obs_scope.ExitCode();` so CI distinguishes truncated
+  /// sweeps from complete ones.
+  int ExitCode() const {
+    const uint64_t abnormal = AbnormalStopCount();
+    if (abnormal == 0 || flags_.allow_truncated) return 0;
+    std::fprintf(stderr,
+                 "%llu stage(s) stopped before completion; exiting 3 "
+                 "(pass --allow-truncated to accept partial results)\n",
+                 static_cast<unsigned long long>(abnormal));
+    return 3;
+  }
 
  private:
   static void Report(const Status& status, const std::string& path,

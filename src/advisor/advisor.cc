@@ -74,7 +74,7 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
     const double base = *base_or;
     std::vector<engine::Index> candidates =
         GenerateCandidates(*wq.query, cost_model_->stats(),
-                           options.candidate_options);
+                           options.candidate_options, selection_budget);
     std::vector<std::pair<double, size_t>> improving;
     for (size_t i = 0; i < candidates.size(); ++i) {
       engine::Configuration single;
@@ -128,9 +128,9 @@ TuningResult DtaStyleAdvisor::Tune(const std::vector<WeightedQuery>& queries,
   }
 
   // --- Greedy enumeration. ---
-  EnumerationResult enumerated =
-      GreedyEnumerate(what_if, queries, pool, options.max_indexes,
-                      storage_budget, catalog, budget, options.num_threads);
+  EnumerationResult enumerated = GreedyEnumerate(
+      what_if, queries, pool, options.max_indexes, storage_budget, catalog,
+      budget, options.num_threads, options.checkpoint);
 
   result.configuration = std::move(enumerated.configuration);
   result.configurations_explored += enumerated.configurations_explored;

@@ -44,7 +44,7 @@ IndexableColumns ExtractIndexableColumns(const sql::BoundQuery& query) {
 
 std::vector<engine::Index> GenerateCandidates(
     const sql::BoundQuery& query, const stats::StatsManager& stats,
-    const CandidateGenOptions& options) {
+    const CandidateGenOptions& options, const TimeBudget& budget) {
   // --- Build per-table views. ---
   std::unordered_map<catalog::TableId, TableColumns> per_table;
 
@@ -94,6 +94,9 @@ std::vector<engine::Index> GenerateCandidates(
   };
 
   for (auto& [t, cols] : per_table) {
+    // Anytime: an expired budget stops emitting further tables; everything
+    // emitted so far is a valid (if smaller) candidate set.
+    if (budget.Expired()) return out;
     const auto& S = cols.selections;
     const auto& J = cols.joins;
     const auto& G = cols.group_by;
@@ -136,6 +139,7 @@ std::vector<engine::Index> GenerateCandidates(
   if (options.covering_variants) {
     const size_t base_count = out.size();
     for (size_t i = 0; i < base_count; ++i) {
+      if (budget.Expired()) break;
       const engine::Index& base = out[i];
       const TableColumns& cols = per_table[base.table()];
       std::vector<catalog::ColumnId> includes;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "engine/index.h"
 #include "sql/bound_query.h"
 #include "stats/stats_manager.h"
@@ -26,10 +27,12 @@ struct CandidateGenOptions {
 ///   R5 order-by + selection + join   R6 group-by + selection + join
 ///   R7 order-by + join + selection   R8 group-by + join + selection
 /// Selection columns are ordered most-selective-first (as index advisors do).
-/// Results are deduplicated.
+/// Results are deduplicated. `budget` makes generation anytime: it is
+/// observed at per-table and covering-variant boundaries, and on expiry the
+/// candidates emitted so far are returned (each is independently valid).
 std::vector<engine::Index> GenerateCandidates(
     const sql::BoundQuery& query, const stats::StatsManager& stats,
-    const CandidateGenOptions& options = {});
+    const CandidateGenOptions& options = {}, const TimeBudget& budget = {});
 
 /// Indexable columns of `query` grouped by role (Definition 5 of the paper):
 /// filter, join, group-by and order-by columns, per referenced table.

@@ -1,10 +1,13 @@
 #include "advisor/enumerator.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 
 #include "common/fault.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -47,6 +50,148 @@ CandidateEvaluation EvaluateCandidate(
   return out;
 }
 
+/// ---- Enumeration checkpointing ----
+///
+/// Section layout of the `.enum` checkpoint (container format in
+/// common/checkpoint.h):
+///   meta     fingerprint, done, stop_reason, configurations_explored,
+///            initial_cost bits, total_cost bits
+///   winners  pool indices of the added indexes, in round order
+///   costs    per-query current cost under the checkpointed configuration
+///   cache    memoized what-if answers (query id, config hash, cost)
+///
+/// Restore replays the winner sequence instead of serializing the
+/// Configuration object: pool indices plus the bit-exact per-query costs
+/// fully determine the derived state, and the replay is O(rounds). The
+/// stored initial cost must match the resumed run's freshly computed one
+/// bit-for-bit before anything is applied — that proves the cost model,
+/// stats and workload are the ones the checkpoint came from, so seeding the
+/// what-if cache from it cannot poison the resumed run.
+constexpr uint32_t kEnumMetaSection = 1;
+constexpr uint32_t kEnumWinnersSection = 2;
+constexpr uint32_t kEnumCostsSection = 3;
+constexpr uint32_t kEnumCacheSection = 4;
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// Identity of one enumeration work unit: the weighted workload, the
+/// candidate pool (by canonical index definition, order-sensitive) and the
+/// search constraints. Thread count is deliberately excluded — enumeration
+/// is bit-identical across thread counts, so a checkpoint written at one
+/// concurrency resumes at another.
+uint64_t EnumerationFingerprint(const std::vector<WeightedQuery>& queries,
+                                const std::vector<engine::Index>& pool,
+                                int max_indexes,
+                                uint64_t storage_budget_bytes) {
+  uint64_t h = HashBytes("enum");
+  h = HashCombine(h, queries.size());
+  for (const WeightedQuery& wq : queries) {
+    h = HashCombine(h, DoubleBits(wq.weight));
+  }
+  h = HashCombine(h, pool.size());
+  for (const engine::Index& index : pool) {
+    h = HashCombine(h, HashBytes(index.CanonicalKey()));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(max_indexes));
+  h = HashCombine(h, storage_budget_bytes);
+  return h;
+}
+
+struct EnumSnapshot {
+  uint64_t fingerprint = 0;
+  uint64_t done = 0;
+  uint64_t stop_reason = 0;
+  uint64_t configurations_explored = 0;
+  uint64_t initial_cost_bits = 0;
+  uint64_t total_cost_bits = 0;
+  std::vector<uint64_t> winners;
+  std::vector<double> costs;
+  std::vector<engine::WhatIfOptimizer::CacheEntry> cache;
+};
+
+void EncodeEnumSnapshot(const EnumSnapshot& snapshot,
+                        CheckpointWriter* writer) {
+  writer->BeginSection(kEnumMetaSection);
+  writer->AppendU64(snapshot.fingerprint);
+  writer->AppendU64(snapshot.done);
+  writer->AppendU64(snapshot.stop_reason);
+  writer->AppendU64(snapshot.configurations_explored);
+  writer->AppendU64(snapshot.initial_cost_bits);
+  writer->AppendU64(snapshot.total_cost_bits);
+  writer->EndSection();
+  writer->BeginSection(kEnumWinnersSection);
+  writer->AppendU64Vector(snapshot.winners);
+  writer->EndSection();
+  writer->BeginSection(kEnumCostsSection);
+  writer->AppendF64Vector(snapshot.costs);
+  writer->EndSection();
+  writer->BeginSection(kEnumCacheSection);
+  writer->AppendU64(snapshot.cache.size());
+  for (const engine::WhatIfOptimizer::CacheEntry& entry : snapshot.cache) {
+    writer->AppendU64(entry.query_id);
+    writer->AppendU64(entry.config_hash);
+    writer->AppendF64(entry.cost);
+  }
+  writer->EndSection();
+}
+
+/// Newest valid epoch decoded into an EnumSnapshot, or kNotFound when no
+/// usable checkpoint exists (absent lineage, fingerprint mismatch,
+/// structurally invalid payload). Callers must still validate the initial
+/// cost bits against a fresh costing pass before applying anything.
+StatusOr<EnumSnapshot> LoadEnumSnapshot(CheckpointStore& store,
+                                        uint64_t expected_fingerprint) {
+  StatusOr<CheckpointReader> reader = store.LoadLatest();
+  if (!reader.ok()) return reader.status();
+  EnumSnapshot snapshot;
+  StatusOr<CheckpointCursor> meta = reader->Section(kEnumMetaSection);
+  if (!meta.ok()) return meta.status();
+  ISUM_ASSIGN_OR_RETURN(snapshot.fingerprint, meta->ReadU64());
+  ISUM_ASSIGN_OR_RETURN(snapshot.done, meta->ReadU64());
+  ISUM_ASSIGN_OR_RETURN(snapshot.stop_reason, meta->ReadU64());
+  ISUM_ASSIGN_OR_RETURN(snapshot.configurations_explored, meta->ReadU64());
+  ISUM_ASSIGN_OR_RETURN(snapshot.initial_cost_bits, meta->ReadU64());
+  ISUM_ASSIGN_OR_RETURN(snapshot.total_cost_bits, meta->ReadU64());
+  if (snapshot.fingerprint != expected_fingerprint) {
+    return Status::NotFound("checkpoint fingerprint mismatch");
+  }
+  if (snapshot.stop_reason > static_cast<uint64_t>(StopReason::kFault)) {
+    return Status::ParseError("checkpoint stop_reason out of range");
+  }
+  StatusOr<CheckpointCursor> winners = reader->Section(kEnumWinnersSection);
+  if (!winners.ok()) return winners.status();
+  ISUM_ASSIGN_OR_RETURN(snapshot.winners, winners->ReadU64Vector());
+  StatusOr<CheckpointCursor> costs = reader->Section(kEnumCostsSection);
+  if (!costs.ok()) return costs.status();
+  ISUM_ASSIGN_OR_RETURN(snapshot.costs, costs->ReadF64Vector());
+  StatusOr<CheckpointCursor> cache = reader->Section(kEnumCacheSection);
+  if (!cache.ok()) return cache.status();
+  uint64_t cache_count = 0;
+  ISUM_ASSIGN_OR_RETURN(cache_count, cache->ReadU64());
+  if (cache_count > cache->remaining() / 24) {
+    return Status::ParseError("checkpoint cache overruns section");
+  }
+  snapshot.cache.reserve(cache_count);
+  for (uint64_t i = 0; i < cache_count; ++i) {
+    engine::WhatIfOptimizer::CacheEntry entry;
+    ISUM_ASSIGN_OR_RETURN(entry.query_id, cache->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(entry.config_hash, cache->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(entry.cost, cache->ReadF64());
+    snapshot.cache.push_back(entry);
+  }
+  return snapshot;
+}
+
 }  // namespace
 
 EnumerationResult GreedyEnumerate(
@@ -54,7 +199,8 @@ EnumerationResult GreedyEnumerate(
     const std::vector<WeightedQuery>& queries,
     const std::vector<engine::Index>& pool, int max_indexes,
     uint64_t storage_budget_bytes, const catalog::Catalog& catalog,
-    const TimeBudget& budget, int num_threads) {
+    const TimeBudget& budget, int num_threads,
+    const CheckpointConfig& ckpt) {
   ISUM_TRACE_SPAN_VAR(span, "advisor/enumerate");
   span.Arg("pool", static_cast<uint64_t>(pool.size()))
       .Arg("max_indexes", max_indexes)
@@ -86,6 +232,7 @@ EnumerationResult GreedyEnumerate(
       result.stop_reason = TimeBudget::ReasonFor(c.status());
       result.initial_cost = total_cost;
       result.final_cost = total_cost;
+      NoteStopReason(result.stop_reason);
       if (obs::Journal::Global().enabled()) {
         obs::Journal::Global().EnumEnd(
             result.configuration.size(), result.initial_cost,
@@ -107,7 +254,96 @@ EnumerationResult GreedyEnumerate(
   uint64_t used_storage = 0;
   uint64_t round_index = 0;
 
-  while (static_cast<int>(result.configuration.size()) < max_indexes) {
+  // Checkpoint/resume (header comment and docs/ROBUSTNESS.md): the restore
+  // runs only after the fresh initial costing above, so the stored initial
+  // cost can be validated bit-for-bit before the checkpoint seeds anything.
+  const CheckpointConfig ckpt_config = EffectiveCheckpoint(ckpt);
+  std::unique_ptr<CheckpointStore> ckpt_store;
+  std::vector<size_t> winner_ids;  // pool indices in add order
+  uint64_t ckpt_written_rounds = 0;
+  const uint64_t ckpt_every =
+      ckpt_config.every_rounds == 0 ? 1 : ckpt_config.every_rounds;
+  bool restored_done = false;
+  if (ckpt_config.enabled()) {
+    const uint64_t fingerprint = EnumerationFingerprint(
+        queries, pool, max_indexes, storage_budget_bytes);
+    ckpt_store = std::make_unique<CheckpointStore>(ckpt_config.path + ".enum",
+                                                   fingerprint);
+    StatusOr<EnumSnapshot> snapshot = LoadEnumSnapshot(*ckpt_store, fingerprint);
+    if (snapshot.ok() &&
+        snapshot->initial_cost_bits == DoubleBits(result.initial_cost) &&
+        snapshot->costs.size() == queries.size() &&
+        snapshot->winners.size() <= static_cast<size_t>(max_indexes)) {
+      bool winners_valid = true;
+      std::vector<bool> replayed(pool.size(), false);
+      for (const uint64_t w : snapshot->winners) {
+        if (w >= pool.size() || replayed[w]) {
+          winners_valid = false;
+          break;
+        }
+        replayed[w] = true;
+      }
+      if (winners_valid) {
+        // Seed the memo cache first so continued rounds reuse the killed
+        // run's optimizer work (pre-validated above: a stale or foreign
+        // checkpoint never reaches this point).
+        std::vector<const sql::BoundQuery*> query_ptrs;
+        query_ptrs.reserve(queries.size());
+        for (const WeightedQuery& wq : queries) query_ptrs.push_back(wq.query);
+        what_if.ImportCache(snapshot->cache, query_ptrs);
+        for (const uint64_t w : snapshot->winners) {
+          const size_t i = static_cast<size_t>(w);
+          used[i] = true;
+          used_storage += pool[i].SizeBytes(catalog);
+          result.configuration.Add(pool[i]);
+          winner_ids.push_back(i);
+        }
+        round_index = winner_ids.size();
+        result.configurations_explored = snapshot->configurations_explored;
+        current_cost = std::move(snapshot->costs);
+        total_cost = DoubleFromBits(snapshot->total_cost_bits);
+        restored_done = snapshot->done != 0;
+        ckpt_written_rounds = winner_ids.size();
+        obs::Journal::Global().CkptRestore(
+            "enum", ckpt_store->loaded_epoch(), winner_ids.size(),
+            obs::SelectionOrderHash(winner_ids.data(), winner_ids.size()),
+            restored_done ? 1 : 0);
+      }
+    }
+  }
+  // Query-pointer → stable-id map for cache export on checkpoint writes.
+  std::unordered_map<const void*, uint64_t> query_ids;
+  if (ckpt_store != nullptr) {
+    query_ids.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      query_ids.emplace(queries[i].query, static_cast<uint64_t>(i));
+    }
+  }
+  // Best-effort epoch write: a failed write is counted
+  // (ckpt.write_failures) but never fails the run — losing resumability
+  // must not lose the result.
+  auto write_checkpoint = [&](bool done) {
+    EnumSnapshot snapshot;
+    snapshot.fingerprint = ckpt_store->fingerprint();
+    snapshot.done = done ? 1 : 0;
+    snapshot.stop_reason = static_cast<uint64_t>(result.stop_reason);
+    snapshot.configurations_explored = result.configurations_explored;
+    snapshot.initial_cost_bits = DoubleBits(result.initial_cost);
+    snapshot.total_cost_bits = DoubleBits(total_cost);
+    snapshot.winners.assign(winner_ids.begin(), winner_ids.end());
+    snapshot.costs = current_cost;
+    snapshot.cache = what_if.ExportCache(query_ids);
+    CheckpointWriter writer;
+    EncodeEnumSnapshot(snapshot, &writer);
+    const uint64_t epoch = ckpt_store->next_epoch();
+    if (!ckpt_store->WriteEpoch(writer).ok()) return;
+    ckpt_written_rounds = winner_ids.size();
+    obs::Journal::Global().CkptWrite("enum", epoch, winner_ids.size(),
+                                     ckpt_store->last_write_bytes());
+  };
+
+  while (!restored_done &&
+         static_cast<int>(result.configuration.size()) < max_indexes) {
     const Status round_check = budget.CheckCancelled();
     if (!round_check.ok()) {
       result.stop_reason = TimeBudget::ReasonFor(round_check);
@@ -214,9 +450,19 @@ EnumerationResult GreedyEnumerate(
     result.configuration.Add(pool[best_i]);
     current_cost = std::move(evaluations[best_e].new_costs);
     total_cost -= best_improvement;
+    if (ckpt_store != nullptr) {
+      winner_ids.push_back(best_i);
+      if (winner_ids.size() >= ckpt_written_rounds + ckpt_every) {
+        write_checkpoint(/*done=*/false);
+      }
+    }
   }
 
   result.final_cost = total_cost;
+  if (ckpt_store != nullptr && !restored_done) {
+    write_checkpoint(result.stop_reason == StopReason::kComplete);
+  }
+  NoteStopReason(result.stop_reason);
   if (obs::Journal::Global().enabled()) {
     obs::Journal::Global().EnumEnd(result.configuration.size(),
                                    result.initial_cost, result.final_cost,

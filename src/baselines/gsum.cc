@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "advisor/candidate_generation.h"
+#include "common/deadline.h"
 #include "core/features.h"
 
 namespace isum::baselines {
@@ -91,7 +92,15 @@ workload::CompressedWorkload GsumCompressor::Compress(
     return 1.0 - 0.5 * l1;
   };
 
+  // Anytime under the ambient budget (common/deadline.h): polled at round
+  // boundaries so a truncated run returns a valid greedy prefix.
+  const TimeBudget budget = EffectiveBudget({});
   for (size_t round = 0; round < k && round < n; ++round) {
+    const Status round_check = budget.CheckCancelled();
+    if (!round_check.ok()) {
+      out.stop_reason = TimeBudget::ReasonFor(round_check);
+      break;
+    }
     double best_score = -1.0;
     size_t best = n;
     for (size_t i = 0; i < n; ++i) {
@@ -138,6 +147,7 @@ workload::CompressedWorkload GsumCompressor::Compress(
     if (!out.entries.empty()) out.entries[rep].weight += 1.0;
   }
   out.NormalizeWeights();
+  NoteStopReason(out.stop_reason);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "core/weighting.h"
 
@@ -54,7 +55,17 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
   std::vector<size_t> assignment(n, 0);
   std::vector<size_t> members;
 
+  // Anytime under the ambient budget: polled at iteration boundaries. The
+  // medoids standing when the budget expires are a valid (just less
+  // converged) clustering; the final assignment below still runs so weights
+  // are consistent with the returned medoids.
+  const TimeBudget budget = EffectiveBudget({});
   for (int iter = 0; iter < max_iterations_; ++iter) {
+    const Status iter_check = budget.CheckCancelled();
+    if (!iter_check.ok()) {
+      out.stop_reason = TimeBudget::ReasonFor(iter_check);
+      break;
+    }
     // Assign.
     assign_all(medoids, &assignment);
     // Update: medoid = member minimizing intra-cluster distance sum.
@@ -97,6 +108,7 @@ workload::CompressedWorkload KMedoidCompressor::Compress(
     out.entries.push_back({medoids[m], std::max(1.0, cluster_size[m])});
   }
   out.NormalizeWeights();
+  NoteStopReason(out.stop_reason);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace isum::baselines {
 
 workload::CompressedWorkload UniformSamplingCompressor::Compress(
@@ -47,8 +49,16 @@ workload::CompressedWorkload StratifiedCompressor::Compress(
   for (auto& c : clusters) rng.Shuffle(c);
 
   workload::CompressedWorkload out;
+  // Anytime under the ambient budget: each completed round-robin pass is a
+  // valid stratified sample, so expiry between passes keeps what we have.
+  const TimeBudget budget = EffectiveBudget({});
   size_t round = 0;
   while (out.entries.size() < k) {
+    const Status round_check = budget.CheckCancelled();
+    if (!round_check.ok()) {
+      out.stop_reason = TimeBudget::ReasonFor(round_check);
+      break;
+    }
     bool any = false;
     for (const auto& c : clusters) {
       if (round < c.size()) {
@@ -62,6 +72,7 @@ workload::CompressedWorkload StratifiedCompressor::Compress(
     ++round;
   }
   out.NormalizeWeights();
+  NoteStopReason(out.stop_reason);
   return out;
 }
 

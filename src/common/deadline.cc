@@ -53,6 +53,30 @@ void SetSleepForTest(SleepFn fn) {
   g_sleep_override.store(fn, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<uint64_t> g_abnormal_stops{0};
+
+obs::Counter* AbnormalStopCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("stop.abnormal");
+  return counter;
+}
+}  // namespace
+
+void NoteStopReason(StopReason reason) {
+  if (reason == StopReason::kComplete) return;
+  g_abnormal_stops.fetch_add(1, std::memory_order_relaxed);
+  AbnormalStopCounter()->Add(1);
+}
+
+uint64_t AbnormalStopCount() {
+  return g_abnormal_stops.load(std::memory_order_relaxed);
+}
+
+void ResetAbnormalStopCount() {
+  g_abnormal_stops.store(0, std::memory_order_relaxed);
+}
+
 const char* StopReasonToString(StopReason reason) {
   switch (reason) {
     case StopReason::kComplete:

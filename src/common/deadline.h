@@ -60,6 +60,20 @@ enum class StopReason {
 /// Short stable name, e.g. "deadline" (used in reports and tests).
 const char* StopReasonToString(StopReason reason);
 
+/// Records a pipeline stage's final stop reason in the process-wide
+/// abnormal-stop ledger. Entry points (Compress/Tune/baselines) call this
+/// once per run; bench drivers consult AbnormalStopCount() to exit nonzero
+/// on truncated runs unless --allow-truncated was passed
+/// (docs/ROBUSTNESS.md, "Exit codes").
+void NoteStopReason(StopReason reason);
+
+/// Stages that stopped abnormally (reason != kComplete) since process start
+/// or the last ResetAbnormalStopCount().
+uint64_t AbnormalStopCount();
+
+/// Test hook: clears the abnormal-stop ledger.
+void ResetAbnormalStopCount();
+
 /// ---- Deadline ----
 
 /// A point on the monotonic clock. Value type; an unlimited deadline never

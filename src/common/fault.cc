@@ -38,6 +38,18 @@ obs::Counter* InjectedCounter() {
   return counter;
 }
 
+/// Per-site injected-latency histogram, e.g. "fault.latency.whatif_cost"
+/// (dots in the site name become underscores so the metric name stays one
+/// dotted namespace deep). Registry lookup per injection is fine here: the
+/// latency path sleeps anyway.
+obs::Histogram* LatencyHistogram(const char* site) {
+  std::string name = "fault.latency.";
+  for (const char* p = site; *p != '\0'; ++p) {
+    name += (*p == '.' || *p == '*') ? '_' : *p;
+  }
+  return obs::MetricsRegistry::Global().GetHistogram(name);
+}
+
 /// Splits the spec into its `;`-separated JSON entries, dropping blanks.
 std::vector<std::string> SplitEntries(const std::string& spec) {
   std::vector<std::string> entries;
@@ -100,6 +112,15 @@ Status FaultInjector::Configure(const std::string& spec) {
       }
       fault->latency_nanos = static_cast<uint64_t>(ms * 1e6);
     }
+    if (JsonHasKey(entry, "after")) {
+      ISUM_ASSIGN_OR_RETURN(const double after,
+                            JsonExtractNumber(entry, "after"));
+      if (after < 0.0) {
+        return Status::InvalidArgument("fault spec: after must be >= 0 in " +
+                                       entry);
+      }
+      fault->after = static_cast<uint64_t>(after);
+    }
     fault->site_hash = HashBytes(fault->site);
     config->faults.push_back(std::move(fault));
   }
@@ -135,12 +156,14 @@ Status FaultInjector::Inject(const char* site) {
     if (fault->site != "*" && fault->site != site_view) continue;
     const uint64_t n =
         fault->invocations.fetch_add(1, std::memory_order_relaxed);
+    if (n < fault->after) continue;  // dormant warm-up window
     const uint64_t bits =
         Mix(HashCombine(HashCombine(config->seed, fault->site_hash), n));
     if (ToUnit(bits) >= fault->probability) continue;
     injected_.fetch_add(1, std::memory_order_relaxed);
     InjectedCounter()->Add(1);
     if (fault->kind == Kind::kLatency) {
+      LatencyHistogram(site)->Observe(fault->latency_nanos);
       SleepForNanos(fault->latency_nanos);
       continue;  // delayed, not failed; later rules may still fire
     }

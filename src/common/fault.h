@@ -25,7 +25,8 @@ namespace isum {
 /// objects, parsed with common/jsonl.h:
 ///
 ///   {"seed":42};{"site":"whatif.cost","kind":"error","p":0.25};
-///   {"site":"*","kind":"latency","p":1.0,"ms":0.5}
+///   {"site":"*","kind":"latency","p":1.0,"ms":0.5};
+///   {"site":"compress.select","kind":"error","p":1.0,"after":7}
 ///
 ///   seed   decision seed (one per spec; default 0x5EED)
 ///   site   fault site name, or "*" to match every site
@@ -34,6 +35,14 @@ namespace isum {
 ///   p      injection probability in [0, 1]
 ///   ms     latency kinds only: injected delay in milliseconds (fractional
 ///          allowed)
+///   after  optional: rule stays dormant for the first N matching
+///          invocations (default 0). With p=1.0 this fires deterministically
+///          at exactly invocation N — the chaos harness's "kill at round N"
+///          primitive (docs/ROBUSTNESS.md).
+///
+/// Every injected latency is recorded in a per-site histogram named
+/// `fault.latency.<site>` with dots replaced by underscores (e.g.
+/// `fault.latency.whatif_cost`), surfaced by `tracecat` robustness output.
 ///
 /// Cost model: when no faults are configured the per-site check is a single
 /// relaxed atomic load (FaultInjector::Armed()). When armed, each matching
@@ -60,6 +69,7 @@ class FaultInjector {
     Kind kind = Kind::kError;
     double probability = 0.0;
     uint64_t latency_nanos = 0;
+    uint64_t after = 0;      ///< dormant for the first `after` invocations
     uint64_t site_hash = 0;  ///< cached HashBytes(site)
     /// Per-rule invocation index; the decision stream position. Mutable so
     /// a shared const Config can advance it.

@@ -66,6 +66,17 @@ void CompressionState::ResetUnselectedFeatures() {
   }
 }
 
+void CompressionState::ReplaySelection(const std::vector<size_t>& ids,
+                                       UpdateStrategy strategy) {
+  for (const size_t id : ids) {
+    // Equivalent to the loop-head reset in the greedy selects: `id` is
+    // still unselected here, so "no eligible query" collapses to "every
+    // unselected query's features are zero".
+    if (AllUnselectedZeroed()) ResetUnselectedFeatures();
+    SelectAndUpdate(id, strategy);
+  }
+}
+
 std::vector<size_t> CompressionState::EligibleQueries() const {
   std::vector<size_t> out;
   for (size_t i = 0; i < features_.size(); ++i) {

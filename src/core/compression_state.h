@@ -60,6 +60,15 @@ class CompressionState {
   /// (Algorithm 2, line 12). Utilities stay discounted.
   void ResetUnselectedFeatures();
 
+  /// Checkpoint restore: re-applies a recorded selection prefix to a fresh
+  /// state. Before each id it reproduces the greedy loop's reset condition
+  /// (every unselected query fully covered ⇔ the round saw no eligible
+  /// query), then applies `strategy` — so the replayed state is
+  /// bit-identical to the state the recording run had after those rounds,
+  /// at O(rounds·n) cost and without any argmax scan (core/checkpointing.h).
+  void ReplaySelection(const std::vector<size_t>& ids,
+                       UpdateStrategy strategy);
+
   /// Queries eligible for selection: unselected with a non-zero feature.
   std::vector<size_t> EligibleQueries() const;
 

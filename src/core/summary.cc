@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "core/checkpointing.h"
 #include "obs/journal.h"
 
 namespace isum::core {
@@ -66,8 +67,11 @@ double SummaryInfluence(const SparseVector& query_features, double query_utility
 
 SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
                                     UpdateStrategy strategy,
-                                    const TimeBudget& budget) {
-  SelectionResult result;
+                                    const TimeBudget& budget,
+                                    SelectionCheckpointer* ckpt,
+                                    SelectionResult seed) {
+  SelectionResult result = std::move(seed);
+  result.stop_reason = StopReason::kComplete;
   // Dense summary accumulator, reused across rounds. Accumulating per
   // feature in ascending query order reproduces the AddScaled chain of
   // ComputeSummaryFeatures bit-for-bit.
@@ -140,6 +144,7 @@ SelectionResult SummaryGreedySelect(CompressionState& state, size_t k,
     result.selected.push_back(best);
     result.selection_benefits.push_back(max_benefit);
     state.SelectAndUpdate(best, strategy);
+    if (ckpt != nullptr) ckpt->OnRound(result);
   }
   return result;
 }

@@ -285,6 +285,34 @@ void Journal::BudgetStop(const char* reason) {
   EmitLine("budget_stop", body, /*flush=*/true);
 }
 
+void Journal::CkptWrite(const char* phase, uint64_t epoch, uint64_t rounds,
+                        uint64_t bytes) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"phase\":\"%s\",\"epoch\":%" PRIu64 ",\"rounds\":%" PRIu64
+          ",\"bytes\":%" PRIu64,
+          phase, epoch, rounds, bytes);
+  // Flushed eagerly: the journal line is the on-disk proof that the epoch
+  // it names was durable first.
+  EmitLine("ckpt_write", body, /*flush=*/true);
+}
+
+void Journal::CkptRestore(const char* phase, uint64_t epoch, uint64_t restored,
+                          uint64_t prefix_hash, uint64_t done) {
+  if (!enabled()) return;
+  char body[kLineCapacity];
+  size_t len = 0;
+  body[0] = '\0';
+  AppendF(body, &len,
+          ",\"phase\":\"%s\",\"epoch\":%" PRIu64 ",\"restored\":%" PRIu64
+          ",\"prefix_hash\":\"%016" PRIx64 "\",\"done\":%" PRIu64,
+          phase, epoch, restored, prefix_hash, done);
+  EmitLine("ckpt_restore", body, /*flush=*/true);
+}
+
 void Journal::Attribution(uint64_t query, double weight,
                           double estimated_benefit, double realized_benefit) {
   if (!enabled()) return;

@@ -115,6 +115,18 @@ class Journal {
   /// (identity-compared, so pass StopReasonToString() results).
   void BudgetStop(const char* reason);
 
+  /// A checkpoint epoch was written: `phase` is "compress" or "enum",
+  /// `rounds` the rounds captured, `bytes` the serialized image size.
+  void CkptWrite(const char* phase, uint64_t epoch, uint64_t rounds,
+                 uint64_t bytes);
+  /// A run resumed from a checkpoint: `restored` rounds were replayed and
+  /// `prefix_hash` is SelectionOrderHash() over the restored prefix (or 0
+  /// for enumeration restores). `done` is 1 when the checkpointed run had
+  /// already finished. tracecat explain seeds its incremental hash from
+  /// this event so resumed journals still verify.
+  void CkptRestore(const char* phase, uint64_t epoch, uint64_t restored,
+                   uint64_t prefix_hash, uint64_t done);
+
   /// Post-eval attribution for one selected query: the benefit selection
   /// estimated vs. the cost reduction the recommended configuration
   /// realized on that query.

@@ -11,6 +11,8 @@
 //   tracecat profile --diff <old.json> <new.json> [--top=N]
 //   tracecat watch <snapshot.prom> [--interval=S] [--count=N]
 //   tracecat watch --url=127.0.0.1:<port> [--interval=S] [--count=N]
+//   tracecat ckpt inspect <file.ckpt...>
+//   tracecat ckpt verify <file.ckpt...>
 //
 // The bench subcommand parses isum-bench-v1 files (--bench-json= output).
 // With two files (or one trajectory file holding several records) it prints
@@ -35,6 +37,12 @@
 // (--serve-metrics= / --metrics-snapshot=): one frame per interval from
 // either the Prometheus snapshot file or an HTTP GET against the
 // 127.0.0.1 listener.
+//
+// The ckpt subcommand operates on isum-ckpt-v1 checkpoint files
+// (--checkpoint= epochs, src/common/checkpoint.h). `inspect` prints the
+// container layout and decoded snapshot metadata; `verify` runs the same
+// validation silently and reports ok/error per file — it answers "would a
+// resuming run accept this file?" without starting one.
 //
 // Exits non-zero on unreadable or malformed input.
 
@@ -395,6 +403,47 @@ int WatchMain(int argc, char** argv) {
   return rendered > 0 ? 0 : 1;
 }
 
+/// `tracecat ckpt inspect|verify ...`: decode (or just validate)
+/// isum-ckpt-v1 checkpoint files.
+int CkptMain(int argc, char** argv) {
+  std::string mode;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (mode.empty() &&
+        (std::strcmp(arg, "inspect") == 0 || std::strcmp(arg, "verify") == 0)) {
+      mode = arg;
+    } else if (arg[0] != '-') {
+      paths.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+  if (mode.empty() || paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracecat ckpt inspect <file.ckpt...>\n"
+                 "       tracecat ckpt verify <file.ckpt...>\n");
+    return 2;
+  }
+  int bad = 0;
+  for (const std::string& path : paths) {
+    auto report = isum::tracecat::InspectCheckpoint(path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   report.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    if (mode == "verify") {
+      std::printf("ok: %s\n", path.c_str());
+    } else {
+      std::fputs(report.value().c_str(), stdout);
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -409,6 +458,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "watch") == 0) {
     return WatchMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "ckpt") == 0) {
+    return CkptMain(argc, argv);
   }
   std::string trace_path;
   std::string metrics_path;

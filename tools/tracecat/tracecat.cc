@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/checkpoint.h"
+#include "common/deadline.h"
 #include "common/jsonl.h"
 #include "common/string_util.h"
 #include "obs/journal.h"
@@ -965,6 +967,8 @@ constexpr EventSpec kEventSpecs[] = {
     {"fault", {"site", "code"}},
     {"budget_tick", {"remaining_s"}},
     {"budget_stop", {"reason"}},
+    {"ckpt_write", {"phase", "epoch", "rounds", "bytes"}},
+    {"ckpt_restore", {"phase", "epoch", "restored", "prefix_hash", "done"}},
     {"attribution", {"query", "weight", "estimated", "realized"}},
     {"pipeline_end", {"algorithm", "k", "improvement_percent",
                       "stop_reason"}},
@@ -977,14 +981,27 @@ const EventSpec* FindEventSpec(const std::string& event) {
   return nullptr;
 }
 
-/// Recomputes obs::SelectionOrderHash over one compression block's select
-/// events and compares it to the compress_end record's selection_hash.
-Status VerifySelectionHash(const std::vector<size_t>& order,
+/// The obs::SelectionOrderHash FNV-1a constants, needed here in incremental
+/// form: a resumed journal carries only the post-restore select events, so
+/// the verifier seeds the hash state from the ckpt_restore record's
+/// prefix_hash instead of replaying the whole order.
+constexpr uint64_t kSelectionHashOffset = 1469598103934665603ull;
+constexpr uint64_t kSelectionHashPrime = 1099511628211ull;
+
+uint64_t ExtendSelectionHash(uint64_t h, const std::vector<size_t>& order) {
+  for (const size_t id : order) {
+    h ^= static_cast<uint64_t>(id);
+    h *= kSelectionHashPrime;
+  }
+  return h;
+}
+
+/// Compares an (incrementally) recomputed selection hash against the
+/// compress_end record's selection_hash.
+Status VerifySelectionHash(uint64_t recomputed,
                            const JournalEvent& end_event) {
   auto recorded = end_event.String("selection_hash");
   if (!recorded.ok()) return recorded.status();
-  const uint64_t recomputed =
-      obs::SelectionOrderHash(order.data(), order.size());
   const uint64_t stored =
       std::strtoull(recorded.value().c_str(), nullptr, 16);
   if (recomputed != stored) {
@@ -1011,7 +1028,8 @@ StatusOr<size_t> CheckJournal(const std::vector<JournalEvent>& events) {
   }
 
   bool in_compress = false;
-  std::vector<size_t> order;
+  uint64_t sel_hash = kSelectionHashOffset;
+  uint64_t sel_count = 0;
   uint64_t expected_round = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const JournalEvent& e = events[i];
@@ -1039,8 +1057,32 @@ StatusOr<size_t> CheckJournal(const std::vector<JournalEvent>& events) {
                                   StrFormat("%llu", (unsigned long long)e.seq));
       }
       in_compress = true;
-      order.clear();
+      sel_hash = kSelectionHashOffset;
+      sel_count = 0;
       expected_round = 0;
+    } else if (e.event == "ckpt_restore") {
+      auto phase = e.String("phase");
+      if (!phase.ok()) return phase.status();
+      if (phase.value() == "compress") {
+        // A resumed compression block: the journal carries only the
+        // post-restore select events, so seed the incremental hash state
+        // from the restored prefix.
+        if (!in_compress) {
+          return Status::ParseError(
+              "compress ckpt_restore outside a compression block");
+        }
+        if (sel_count != 0) {
+          return Status::ParseError(
+              "ckpt_restore after select events in the same block");
+        }
+        auto restored = e.Number("restored");
+        if (!restored.ok()) return restored.status();
+        auto prefix = e.String("prefix_hash");
+        if (!prefix.ok()) return prefix.status();
+        sel_count = static_cast<uint64_t>(restored.value());
+        expected_round = sel_count;
+        sel_hash = std::strtoull(prefix.value().c_str(), nullptr, 16);
+      }
     } else if (e.event == "select") {
       if (!in_compress) {
         return Status::ParseError("select outside a compression block");
@@ -1055,19 +1097,21 @@ StatusOr<size_t> CheckJournal(const std::vector<JournalEvent>& events) {
       ++expected_round;
       auto query = e.Number("query");
       if (!query.ok()) return query.status();
-      order.push_back(static_cast<size_t>(query.value()));
+      sel_hash ^= static_cast<uint64_t>(query.value());
+      sel_hash *= kSelectionHashPrime;
+      ++sel_count;
     } else if (e.event == "compress_end") {
       if (!in_compress) {
         return Status::ParseError("compress_end without compress_begin");
       }
       auto selected = e.Number("selected");
       if (!selected.ok()) return selected.status();
-      if (static_cast<size_t>(selected.value()) != order.size()) {
+      if (static_cast<uint64_t>(selected.value()) != sel_count) {
         return Status::ParseError(StrFormat(
-            "compress_end claims %.0f selections but block has %zu",
-            selected.value(), order.size()));
+            "compress_end claims %.0f selections but block has %llu",
+            selected.value(), static_cast<unsigned long long>(sel_count)));
       }
-      const Status hash = VerifySelectionHash(order, e);
+      const Status hash = VerifySelectionHash(sel_hash, e);
       if (!hash.ok()) return hash;
       in_compress = false;
     }
@@ -1090,6 +1134,11 @@ struct CompressBlock {
   std::vector<size_t> order;
   std::vector<uint64_t> reset_rounds;  ///< selected-so-far at each reset
   const JournalEvent* end = nullptr;
+  /// Checkpoint-resume seed: the restored prefix's hash state and length
+  /// (kSelectionHashOffset/0 for a from-scratch block).
+  uint64_t seed_hash = kSelectionHashOffset;
+  uint64_t restored = 0;
+  bool resumed = false;
 };
 
 std::string HumanGap(double gap) {
@@ -1118,6 +1167,7 @@ StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
   std::vector<const JournalEvent*> attributions;
   std::vector<const JournalEvent*> incidents;  ///< retry/fault/budget_stop
   std::vector<const JournalEvent*> ticks;
+  std::vector<const JournalEvent*> ckpt_events;
   const JournalEvent* pipeline_end = nullptr;
   for (const JournalEvent& e : events) {
     if (e.event == "compress_begin") {
@@ -1164,6 +1214,23 @@ StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
       incidents.push_back(&e);
     } else if (e.event == "budget_tick") {
       ticks.push_back(&e);
+    } else if (e.event == "ckpt_write" || e.event == "ckpt_restore") {
+      ckpt_events.push_back(&e);
+      if (e.event == "ckpt_restore" && open_block != nullptr) {
+        auto phase = e.String("phase");
+        if (phase.ok() && phase.value() == "compress") {
+          open_block->resumed = true;
+          auto restored = e.Number("restored");
+          if (restored.ok()) {
+            open_block->restored = static_cast<uint64_t>(restored.value());
+          }
+          auto prefix = e.String("prefix_hash");
+          if (prefix.ok()) {
+            open_block->seed_hash =
+                std::strtoull(prefix.value().c_str(), nullptr, 16);
+          }
+        }
+      }
     } else if (e.event == "pipeline_end") {
       pipeline_end = &e;
     }
@@ -1183,8 +1250,8 @@ StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
       if (reason.ok()) stop_reason = reason.value();
       auto sum = block.end->Number("benefit_sum");
       if (sum.ok()) benefit_sum = sum.value();
-      const Status hash =
-          VerifySelectionHash(block.order, *block.end);
+      const Status hash = VerifySelectionHash(
+          ExtendSelectionHash(block.seed_hash, block.order), *block.end);
       if (hash.ok()) {
         auto recorded = block.end->String("selection_hash");
         hash_note = StrFormat("%s (recomputed: match)",
@@ -1201,7 +1268,14 @@ StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
         static_cast<unsigned long long>(block.k),
         static_cast<unsigned long long>(block.threads), stop_reason.c_str());
     out += StrFormat("selected %zu, estimated benefit sum %.6g\n",
-                     block.order.size(), benefit_sum);
+                     static_cast<size_t>(block.restored) + block.order.size(),
+                     benefit_sum);
+    if (block.resumed) {
+      out += StrFormat(
+          "resumed from checkpoint: %llu round(s) restored, %zu run live\n",
+          static_cast<unsigned long long>(block.restored),
+          block.order.size());
+    }
     out += StrFormat("selection hash: %s\n", hash_note.c_str());
     if (!block.reset_rounds.empty()) {
       out += "feature resets after:";
@@ -1365,6 +1439,33 @@ StatusOr<std::string> ExplainJournal(const std::vector<JournalEvent>& events,
     }
   }
 
+  if (!ckpt_events.empty()) {
+    out += StrFormat("\n== checkpoints (%zu) ==\n", ckpt_events.size());
+    for (const JournalEvent* e : ckpt_events) {
+      auto phase = e->String("phase");
+      auto epoch = e->Number("epoch");
+      if (e->event == "ckpt_write") {
+        auto rounds = e->Number("rounds");
+        auto bytes = e->Number("bytes");
+        out += StrFormat(
+            "%14.3fus  wrote %s epoch %.0f (%.0f round(s), %.0f bytes)\n",
+            e->t_us, phase.ok() ? phase.value().c_str() : "?",
+            epoch.ok() ? epoch.value() : -1.0,
+            rounds.ok() ? rounds.value() : 0.0,
+            bytes.ok() ? bytes.value() : 0.0);
+      } else {
+        auto restored = e->Number("restored");
+        auto done = e->Number("done");
+        out += StrFormat(
+            "%14.3fus  resumed %s from epoch %.0f (%.0f round(s)%s)\n",
+            e->t_us, phase.ok() ? phase.value().c_str() : "?",
+            epoch.ok() ? epoch.value() : -1.0,
+            restored.ok() ? restored.value() : 0.0,
+            done.ok() && done.value() != 0.0 ? ", already complete" : "");
+      }
+    }
+  }
+
   if (!ticks.empty()) {
     auto first = ticks.front()->Number("remaining_s");
     auto last = ticks.back()->Number("remaining_s");
@@ -1489,6 +1590,113 @@ std::string WatchFrame(const std::vector<PromSample>& samples) {
         "robustness: %.0f retry(ies), %.0f fault(s) injected, %.0f deadline "
         "hit(s)\n",
         retries, faults, deadline);
+  }
+
+  // Per-site injected fault latency (the fault.latency.<site> histograms
+  // src/common/fault.cc records for latency-kind rules).
+  for (const PromSample& s : samples) {
+    const std::string prefix = "isum_fault_latency_";
+    if (s.name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (s.labels != "quantile=\"0.5\"") continue;
+    const PromSample* p99 = FindSample(samples, s.name, "quantile=\"0.99\"");
+    out += StrFormat("fault latency %s: p50 %s  p99 %s\n",
+                     s.name.substr(prefix.size()).c_str(),
+                     HumanUs(s.value / 1e3).c_str(),
+                     HumanUs((p99 != nullptr ? p99->value : s.value) / 1e3)
+                         .c_str());
+  }
+
+  const double ckpt_writes = SampleOr(samples, "isum_ckpt_writes", 0.0);
+  const double ckpt_restores = SampleOr(samples, "isum_ckpt_restores", 0.0);
+  if (ckpt_writes > 0.0 || ckpt_restores > 0.0) {
+    out += StrFormat(
+        "checkpoints: %.0f write(s) (%.0f failed, %.0f bytes), %.0f "
+        "restore(s) (%.0f rejected)\n",
+        ckpt_writes, SampleOr(samples, "isum_ckpt_write_failures", 0.0),
+        SampleOr(samples, "isum_ckpt_bytes_written", 0.0), ckpt_restores,
+        SampleOr(samples, "isum_ckpt_rejected", 0.0));
+  }
+  return out;
+}
+
+// ---- checkpoint files ----
+
+namespace {
+
+std::string StopReasonNote(uint64_t reason) {
+  if (reason > static_cast<uint64_t>(StopReason::kFault)) {
+    return StrFormat("invalid(%llu)", static_cast<unsigned long long>(reason));
+  }
+  return StopReasonToString(static_cast<StopReason>(reason));
+}
+
+}  // namespace
+
+StatusOr<std::string> InspectCheckpoint(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  auto reader = CheckpointReader::Parse(std::move(bytes).value());
+  if (!reader.ok()) return reader.status();
+  std::string out = StrFormat("%s: isum-ckpt-v1, %zu bytes\n", path.c_str(),
+                              reader->total_bytes());
+  for (const uint32_t id : reader->SectionIds()) {
+    out += StrFormat("  section %u: %zu byte(s)\n", id,
+                     reader->SectionSize(id));
+  }
+  // Both snapshot layouts keep their scalars in section 1; the enumeration
+  // layout is distinguished by its 48-byte meta plus the what-if cache
+  // section (4). Anything else prints as a raw container.
+  if (reader->SectionSize(1) == 48 && reader->HasSection(4)) {
+    auto meta = reader->Section(1);
+    if (!meta.ok()) return meta.status();
+    ISUM_ASSIGN_OR_RETURN(const uint64_t fingerprint, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t done, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t reason, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t explored, meta->ReadU64());
+    auto winners = reader->Section(2);
+    if (!winners.ok()) return winners.status();
+    ISUM_ASSIGN_OR_RETURN(const std::vector<uint64_t> winner_ids,
+                          winners->ReadU64Vector());
+    auto costs = reader->Section(3);
+    if (!costs.ok()) return costs.status();
+    ISUM_ASSIGN_OR_RETURN(const std::vector<double> cost_vec,
+                          costs->ReadF64Vector());
+    auto cache = reader->Section(4);
+    if (!cache.ok()) return cache.status();
+    ISUM_ASSIGN_OR_RETURN(const uint64_t cache_count, cache->ReadU64());
+    out += StrFormat(
+        "enumeration snapshot: fingerprint %016llx, %zu round(s), "
+        "%zu quer(ies), %llu cached what-if answer(s), %llu config(s) "
+        "explored, stop %s%s\n",
+        static_cast<unsigned long long>(fingerprint), winner_ids.size(),
+        cost_vec.size(), static_cast<unsigned long long>(cache_count),
+        static_cast<unsigned long long>(explored),
+        StopReasonNote(reason).c_str(), done != 0 ? ", done" : "");
+  } else if (reader->SectionSize(1) == 32) {
+    auto meta = reader->Section(1);
+    if (!meta.ok()) return meta.status();
+    ISUM_ASSIGN_OR_RETURN(const uint64_t fingerprint, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t done, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t reason, meta->ReadU64());
+    ISUM_ASSIGN_OR_RETURN(const uint64_t rounds, meta->ReadU64());
+    auto ids_cursor = reader->Section(2);
+    if (!ids_cursor.ok()) return ids_cursor.status();
+    ISUM_ASSIGN_OR_RETURN(const std::vector<uint64_t> ids,
+                          ids_cursor->ReadU64Vector());
+    if (ids.size() != rounds) {
+      return Status::ParseError(StrFormat(
+          "selection snapshot: meta claims %llu round(s), ids section has "
+          "%zu",
+          static_cast<unsigned long long>(rounds), ids.size()));
+    }
+    std::vector<size_t> order(ids.begin(), ids.end());
+    out += StrFormat(
+        "selection snapshot: fingerprint %016llx, %zu round(s), prefix hash "
+        "%016llx, stop %s%s\n",
+        static_cast<unsigned long long>(fingerprint), order.size(),
+        static_cast<unsigned long long>(
+            obs::SelectionOrderHash(order.data(), order.size())),
+        StopReasonNote(reason).c_str(), done != 0 ? ", done" : "");
   }
   return out;
 }

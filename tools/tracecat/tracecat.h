@@ -215,9 +215,20 @@ StatusOr<std::vector<PromSample>> ParsePrometheusText(
     const std::string& content);
 
 /// Renders one `tracecat watch` frame from a snapshot: compression/tuning
-/// progress counters, what-if hit rate, retry/fault health, and the
+/// progress counters, what-if hit rate, retry/fault health (including the
+/// per-site fault.latency.* histograms), checkpoint activity, and the
 /// exporter's budget.remaining_seconds gauge.
 std::string WatchFrame(const std::vector<PromSample>& samples);
+
+/// ---- checkpoint files (isum-ckpt-v1, src/common/checkpoint.h) ----
+
+/// Human summary of one checkpoint file for `tracecat ckpt inspect`:
+/// container header, per-section sizes, and the decoded snapshot metadata
+/// when the sections match the compression (.compress) or enumeration
+/// (.enum) layout. Errors on unreadable or structurally invalid files —
+/// the same validation a resuming run applies, so `tracecat ckpt verify`
+/// (inspect minus the printing) answers "would this file restore?".
+StatusOr<std::string> InspectCheckpoint(const std::string& path);
 
 }  // namespace isum::tracecat
 
